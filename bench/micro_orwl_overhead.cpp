@@ -1,0 +1,141 @@
+// Table D (micro): ORWL runtime overhead, measured natively with
+// google-benchmark — FIFO queue operations, grant cycles in both control
+// modes, contended queues, and shared-read grants.
+
+#include <benchmark/benchmark.h>
+
+#include "orwl/runtime.h"
+
+namespace {
+
+using namespace orwl;
+
+// Raw queue cycle: insert -> (granted) -> release_and_renew, no threads.
+void BM_QueueRenewCycle(benchmark::State& state) {
+  int grants = 0;
+  FifoQueue q([&](Request&) { ++grants; });
+  Request slots[2];
+  slots[0].mode = AccessMode::Write;
+  slots[1].mode = AccessMode::Write;
+  q.insert(slots[0]);
+  int cur = 0;
+  for (auto _ : state) {
+    q.release_and_renew(slots[cur], slots[cur ^ 1]);
+    cur ^= 1;
+  }
+  benchmark::DoNotOptimize(grants);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueRenewCycle);
+
+// End-to-end grant latency: two tasks alternate on one location; measures
+// a full request->control->deliver->acquire->release cycle.
+void BM_RuntimeAlternation(benchmark::State& state) {
+  const bool per_task_control = state.range(0) != 0;
+  const int rounds = 2000;
+  for (auto _ : state) {
+    RuntimeOptions opts;
+    opts.control = per_task_control
+                       ? RuntimeOptions::ControlMode::PerTask
+                       : RuntimeOptions::ControlMode::Direct;
+    opts.record_flows = false;
+    Runtime rt(opts);
+    const LocationId loc = rt.add_location(64);
+    for (int i = 0; i < 2; ++i) {
+      rt.add_task("t" + std::to_string(i), [i](TaskContext& ctx) {
+        Handle& h = ctx.handle(i);
+        for (int r = 0; r < rounds; ++r) {
+          h.acquire();
+          if (r + 1 == rounds)
+            h.release();
+          else
+            h.release_and_renew();
+        }
+      });
+    }
+    rt.add_handle(0, loc, AccessMode::Write);
+    rt.add_handle(1, loc, AccessMode::Write);
+    rt.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rounds);
+  state.SetLabel(per_task_control ? "control-threads" : "direct");
+}
+BENCHMARK(BM_RuntimeAlternation)->Arg(0)->Arg(1)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Contended location: N writers round-robin.
+void BM_RuntimeContention(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  const int rounds = 500;
+  for (auto _ : state) {
+    RuntimeOptions opts;
+    opts.control = RuntimeOptions::ControlMode::Direct;
+    opts.record_flows = false;
+    Runtime rt(opts);
+    const LocationId loc = rt.add_location(64);
+    for (int i = 0; i < writers; ++i) {
+      rt.add_task("w" + std::to_string(i), [i](TaskContext& ctx) {
+        Handle& h = ctx.handle(i);
+        for (int r = 0; r < rounds; ++r) {
+          h.acquire();
+          if (r + 1 == rounds)
+            h.release();
+          else
+            h.release_and_renew();
+        }
+      });
+    }
+    for (int i = 0; i < writers; ++i)
+      rt.add_handle(i, loc, AccessMode::Write);
+    rt.run();
+  }
+  state.SetItemsProcessed(state.iterations() * writers * rounds);
+}
+BENCHMARK(BM_RuntimeContention)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Shared reads: one writer, N readers per round.
+void BM_RuntimeSharedReads(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  const int rounds = 500;
+  for (auto _ : state) {
+    RuntimeOptions opts;
+    opts.control = RuntimeOptions::ControlMode::Direct;
+    opts.record_flows = false;
+    Runtime rt(opts);
+    const LocationId loc = rt.add_location(4096);
+    rt.add_task("w", [](TaskContext& ctx) {
+      Handle& h = ctx.handle(0);
+      for (int r = 0; r < rounds; ++r) {
+        h.acquire();
+        if (r + 1 == rounds)
+          h.release();
+        else
+          h.release_and_renew();
+      }
+    });
+    for (int i = 0; i < readers; ++i) {
+      rt.add_task("r" + std::to_string(i), [i](TaskContext& ctx) {
+        Handle& h = ctx.handle(1 + i);
+        for (int r = 0; r < rounds; ++r) {
+          h.acquire();
+          if (r + 1 == rounds)
+            h.release();
+          else
+            h.release_and_renew();
+        }
+      });
+    }
+    rt.add_handle(0, loc, AccessMode::Write);
+    for (int i = 0; i < readers; ++i)
+      rt.add_handle(1 + i, loc, AccessMode::Read);
+    rt.run();
+  }
+  state.SetItemsProcessed(state.iterations() * (readers + 1) * rounds);
+}
+BENCHMARK(BM_RuntimeSharedReads)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

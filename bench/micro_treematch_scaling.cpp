@@ -1,0 +1,91 @@
+// Table E (micro): cost of the mapping algorithm itself. The paper runs
+// Algorithm 1 once at launch time; this measures how that launch cost
+// scales with the number of threads, for stencil and random matrices and
+// for the grouping engines.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "comm/patterns.h"
+#include "treematch/treematch.h"
+
+namespace {
+
+using namespace orwl;
+
+topo::Topology machine_for(int threads) {
+  // Scale the machine with the thread count: packs of 8 cores.
+  const int packs = std::max(1, threads / 8);
+  return topo::Topology::synthetic("pack:" + std::to_string(packs) +
+                                   " core:8 pu:1");
+}
+
+void BM_MapStencil(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto topo = machine_for(threads);
+  comm::StencilSpec spec;
+  const int side = static_cast<int>(std::sqrt(double(threads)));
+  spec.blocks_x = threads / side;
+  spec.blocks_y = side;
+  spec.block_rows = 128;
+  spec.block_cols = 128;
+  const auto m = comm::stencil_matrix(spec);
+  treematch::Options opts;
+  opts.manage_control_threads = false;
+  for (auto _ : state) {
+    auto r = treematch::map_threads(topo, m, opts);
+    benchmark::DoNotOptimize(r.compute_pu.data());
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_MapStencil)->Arg(16)->Arg(64)->Arg(192)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MapRandom(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto topo = machine_for(threads);
+  const auto m = comm::random_matrix(threads, 0.1, 1000.0, 5);
+  treematch::Options opts;
+  opts.manage_control_threads = false;
+  for (auto _ : state) {
+    auto r = treematch::map_threads(topo, m, opts);
+    benchmark::DoNotOptimize(r.compute_pu.data());
+  }
+}
+BENCHMARK(BM_MapRandom)->Arg(16)->Arg(64)->Arg(192)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MapOversubscribed(benchmark::State& state) {
+  // The paper's LK23 case: ~9 operations per block on one PU per block.
+  const int blocks = static_cast<int>(state.range(0));
+  const auto topo = machine_for(blocks);
+  const auto m = comm::clustered_matrix(blocks * 9, 9, 4096.0, 8.0);
+  treematch::Options opts;
+  opts.manage_control_threads = false;
+  for (auto _ : state) {
+    auto r = treematch::map_threads(topo, m, opts);
+    benchmark::DoNotOptimize(r.compute_pu.data());
+  }
+  state.SetLabel(std::to_string(blocks * 9) + " ops on " +
+                 std::to_string(topo.num_pus()) + " PUs");
+}
+BENCHMARK(BM_MapOversubscribed)->Arg(24)->Arg(96)->Arg(192)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroupProcessesEngines(benchmark::State& state) {
+  // Candidate-enumeration engine vs seeded engine on the same instance.
+  const bool seeded = state.range(0) != 0;
+  const auto m = comm::random_matrix(64, 0.3, 100.0, 9);
+  const std::size_t limit = seeded ? 1 : 50000;
+  for (auto _ : state) {
+    auto g = treematch::group_processes(m, 4, limit);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetLabel(seeded ? "seeded-greedy" : "candidate-list");
+}
+BENCHMARK(BM_GroupProcessesEngines)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

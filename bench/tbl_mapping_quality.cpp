@@ -1,0 +1,104 @@
+// Table A (ablation): mapping quality of the placement policies across
+// workload patterns and topologies. Reports hop-bytes (lower = better
+// locality), the fraction of traffic kept inside a package, and the
+// simulated iteration time of the resulting placement.
+
+#include <cmath>
+#include <iostream>
+
+#include "comm/metrics.h"
+#include "comm/patterns.h"
+#include "place/placement.h"
+#include "sim/simulator.h"
+#include "support/table.h"
+#include "support/time.h"
+
+namespace {
+
+using namespace orwl;
+
+struct Pattern {
+  const char* name;
+  comm::CommMatrix matrix;
+};
+
+// Simulate one iteration of a communication-bound exchange workload under
+// a mapping (light compute, 1024 exchanges per iteration so placement
+// differences are visible in the time column).
+double sim_time(const topo::Topology& topo, const comm::CommMatrix& m,
+                const comm::Mapping& mapping) {
+  const sim::LinkCost cost = sim::LinkCost::defaults_for(topo);
+  sim::Workload load;
+  const int n = m.order();
+  for (int i = 0; i < n; ++i) load.threads.push_back({1e5, 1e5, 0});
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (m.at(i, j) > 0)
+        load.edges.push_back({i, j, 1024.0 * m.at(i, j)});
+  sim::Placement place;
+  place.compute_pu = mapping;
+  place.control_pu.assign(static_cast<std::size_t>(n), -1);
+  place.data_home_pu = mapping;
+  for (auto& pu : place.data_home_pu)
+    if (pu < 0) pu = 0;
+  // Unbound entries would be random; pin them for a deterministic table.
+  for (auto& pu : place.compute_pu)
+    if (pu < 0) pu = 0;
+  return sim::simulate(topo, cost, load, place).total_seconds;
+}
+
+}  // namespace
+
+int main() {
+  const char* topo_specs[] = {"pack:4 core:8 pu:1", "pack:24 core:8 pu:1"};
+
+  for (const char* spec : topo_specs) {
+    const auto topo = topo::Topology::synthetic(spec);
+    const int p = topo.num_pus();
+    std::cout << "=== topology " << spec << " (" << p << " PUs) ===\n\n";
+
+    std::vector<Pattern> patterns;
+    {
+      comm::StencilSpec st;
+      const int side = static_cast<int>(std::sqrt(double(p)));
+      st.blocks_x = p / side;
+      st.blocks_y = side;
+      st.block_rows = 256;
+      st.block_cols = 256;
+      patterns.push_back({"stencil", comm::stencil_matrix(st)});
+      patterns.push_back({"ring", comm::ring_matrix(p, 4096.0)});
+      patterns.push_back(
+          {"clustered", comm::clustered_matrix(p, 8, 4096.0, 16.0)});
+      patterns.push_back({"random", comm::random_matrix(p, 0.1, 4096.0, 3)});
+    }
+
+    for (const auto& pat : patterns) {
+      Table table({"policy", "hop-bytes", "package-local %", "sim time/iter",
+                   "vs treematch"});
+      const int pkg_depth = 1;
+      double tm_time = 0.0;
+      std::vector<std::pair<place::Policy, std::string>> rows;
+      for (place::Policy policy :
+           {place::Policy::TreeMatch, place::Policy::Compact,
+            place::Policy::Scatter, place::Policy::Random}) {
+        treematch::Options tm_opts;
+        tm_opts.manage_control_threads = false;
+        const place::Plan plan =
+            place::compute_plan(policy, topo, pat.matrix, tm_opts);
+        const double hb = comm::hop_bytes(topo, pat.matrix, plan.compute_pu);
+        const double local = comm::locality_fraction(
+            topo, pat.matrix, plan.compute_pu, pkg_depth);
+        const double t = sim_time(topo, pat.matrix, plan.compute_pu);
+        if (policy == place::Policy::TreeMatch) tm_time = t;
+        table.add_row({place::to_string(policy), orwl::fmt(hb / 1024.0, 1),
+                       orwl::fmt(100.0 * local, 1),
+                       orwl::format_seconds(t),
+                       orwl::fmt(t / tm_time, 2)});
+      }
+      std::cout << "--- pattern: " << pat.name << " ---\n";
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+  }
+  return 0;
+}

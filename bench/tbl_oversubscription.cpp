@@ -1,0 +1,80 @@
+// Table B (ablation): the oversubscription extension of Algorithm 1.
+// When tasks > computing resources, the extension adds a virtual topology
+// level so affine threads share a PU; the baseline wraps threads around
+// PUs in index order (compact modulo). Reports hop-bytes and simulated
+// time for task/PU ratios 1..8.
+
+#include <iostream>
+
+#include "comm/metrics.h"
+#include "comm/patterns.h"
+#include "sim/simulator.h"
+#include "support/table.h"
+#include "support/time.h"
+#include "treematch/treematch.h"
+
+namespace {
+
+using namespace orwl;
+
+double sim_time(const topo::Topology& topo, const comm::CommMatrix& m,
+                const comm::Mapping& mapping) {
+  const sim::LinkCost cost = sim::LinkCost::defaults_for(topo);
+  sim::Workload load;
+  for (int i = 0; i < m.order(); ++i) load.threads.push_back({1e6, 1e5, 0});
+  for (int i = 0; i < m.order(); ++i)
+    for (int j = i + 1; j < m.order(); ++j)
+      if (m.at(i, j) > 0) load.edges.push_back({i, j, m.at(i, j)});
+  sim::Placement place;
+  place.compute_pu = mapping;
+  place.control_pu.assign(static_cast<std::size_t>(m.order()), -1);
+  place.data_home_pu = mapping;
+  return sim::simulate(topo, cost, load, place).total_seconds;
+}
+
+}  // namespace
+
+int main() {
+  const auto topo = topo::Topology::synthetic("pack:4 core:8 pu:1");
+  const int pus = topo.num_pus();
+  std::cout << "Table B: oversubscription extension (topology pack:4 "
+               "core:8 pu:1, "
+            << pus << " PUs)\nworkload: clustered threads (cluster size = "
+               "ratio) — affine threads should share a PU\n\n";
+
+  Table table({"tasks/PU", "threads", "policy", "hop-bytes", "max/PU",
+               "sim time/iter"});
+  for (int ratio : {1, 2, 4, 8}) {
+    const int threads = pus * ratio;
+    const auto m = comm::clustered_matrix(threads, ratio, 4096.0, 8.0);
+
+    treematch::Options opts;
+    opts.manage_control_threads = false;
+    const auto tm = treematch::map_threads(topo, m, opts);
+    comm::Mapping wrap(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+      wrap[static_cast<std::size_t>(t)] = t % pus;
+
+    for (const auto& [name, mapping] :
+         {std::pair<const char*, const comm::Mapping*>{"treematch+virt",
+                                                       &tm.compute_pu},
+          std::pair<const char*, const comm::Mapping*>{"compact-wrap",
+                                                       &wrap}}) {
+      std::vector<int> load_per_pu(static_cast<std::size_t>(pus), 0);
+      for (int pu : *mapping)
+        if (pu >= 0) load_per_pu[static_cast<std::size_t>(pu)]++;
+      int max_load = 0;
+      for (int l : load_per_pu) max_load = std::max(max_load, l);
+      table.add_row({std::to_string(ratio), std::to_string(threads), name,
+                     orwl::fmt(comm::hop_bytes(topo, m, *mapping) / 1024.0, 1),
+                     std::to_string(max_load),
+                     orwl::format_seconds(sim_time(topo, m, *mapping))});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpectation: treematch+virt keeps each PU's load at the "
+               "ratio while co-locating\neach affinity cluster, so "
+               "hop-bytes stays near zero; compact-wrap splits clusters\n"
+               "across the machine.\n";
+  return 0;
+}

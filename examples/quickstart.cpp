@@ -1,0 +1,86 @@
+// Quickstart: the smallest complete ORWL program with topology-aware
+// placement.
+//
+//   1. create locations (shared resources guarded by ordered RW locks),
+//   2. create tasks and register handles (the registration order is the
+//      canonical FIFO priming order),
+//   3. extract the communication matrix, run Algorithm 1, bind,
+//   4. run and inspect.
+//
+// The program is a 4-stage ring: each task reads its input location and
+// writes its output location, 10 rounds.
+
+#include <iostream>
+
+#include "orwl/runtime.h"
+#include "place/placement.h"
+#include "support/table.h"
+
+int main() {
+  using namespace orwl;
+  constexpr int kStages = 4;
+  constexpr int kRounds = 10;
+
+  Runtime rt;
+
+  // 1. Locations: one long per pipeline stage.
+  std::vector<LocationId> locs;
+  for (int i = 0; i < kStages; ++i)
+    locs.push_back(rt.add_location(sizeof(long), "stage" + std::to_string(i)));
+
+  // 2. Tasks: stage i reads locs[i], writes locs[i+1].
+  for (int i = 0; i < kStages; ++i) {
+    rt.add_task("stage" + std::to_string(i), [i](TaskContext& ctx) {
+      Handle& rd = ctx.handle(2 * i);
+      Handle& wr = ctx.handle(2 * i + 1);
+      for (int round = 0; round < kRounds; ++round) {
+        const bool last = round + 1 == kRounds;
+        long v;
+        {
+          auto in = rd.acquire();
+          v = as_span<const long>(std::span<const std::byte>(in))[0];
+          last ? rd.release() : rd.release_and_renew();
+        }
+        auto out = wr.acquire();
+        as_span<long>(out)[0] = v + 1;
+        last ? wr.release() : wr.release_and_renew();
+      }
+    });
+  }
+  for (int i = 0; i < kStages; ++i) {
+    rt.add_handle(i, locs[static_cast<std::size_t>(i)], AccessMode::Read);
+    rt.add_handle(i, locs[static_cast<std::size_t>((i + 1) % kStages)],
+                  AccessMode::Write);
+  }
+
+  // 3. Topology-aware placement (the paper's Algorithm 1).
+  const auto topo = topo::Topology::host();
+  const comm::CommMatrix m = rt.static_comm_matrix();
+  const place::Plan plan = place::compute_plan(place::Policy::TreeMatch,
+                                               topo, m);
+  place::apply_plan(plan, topo, rt);
+
+  std::cout << "host topology: " << topo.num_pus() << " PUs, depth "
+            << topo.depth() << "\n\ncommunication matrix (bytes/round):\n";
+  m.save_csv(std::cout);
+
+  Table table({"task", "compute PU", "control PU"});
+  for (int t = 0; t < kStages; ++t)
+    table.add_row({rt.task_name(t),
+                   std::to_string(plan.compute_pu[static_cast<std::size_t>(t)]),
+                   std::to_string(plan.control_pu[static_cast<std::size_t>(t)])});
+  std::cout << "\nplacement (control strategy: "
+            << treematch::to_string(plan.treematch.control_used) << "):\n";
+  table.print(std::cout);
+
+  // 4. Run.
+  rt.run();
+  std::cout << "\nafter " << kRounds << " rounds, stage values:";
+  for (int i = 0; i < kStages; ++i)
+    std::cout << ' '
+              << as_span<long>(rt.location_data(
+                     locs[static_cast<std::size_t>(i)]))[0];
+  std::cout << "\ngrants delivered: "
+            << rt.stats().read_grants() + rt.stats().write_grants() << '\n';
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Stencil scenario: the paper's Livermore Kernel 23 workload on the host
+// machine, comparing ORWL NoBind, ORWL Bind (Algorithm 1) and the
+// fork-join (OpenMP-equivalent) baseline, with numerical verification
+// against the blocked sequential reference.
+
+#include <iostream>
+
+#include "lk23/forkjoin_impl.h"
+#include "lk23/kernel.h"
+#include "lk23/orwl_impl.h"
+#include "support/table.h"
+#include "support/time.h"
+
+int main(int argc, char** argv) {
+  using namespace orwl;
+  lk23::Spec spec;
+  spec.n = argc > 1 ? std::atol(argv[1]) : 1024;
+  spec.iterations = argc > 2 ? std::atoi(argv[2]) : 20;
+  spec.bx = 4;
+  spec.by = 2;
+
+  const auto topo = topo::Topology::host();
+  std::cout << "LK23 " << spec.n << "x" << spec.n << ", " << spec.iterations
+            << " iterations, " << spec.bx * spec.by << " blocks, host has "
+            << topo.num_pus() << " PUs\n\n";
+
+  const auto ref = lk23::blocked_reference(spec);
+
+  Table table({"implementation", "time", "max |err| vs reference",
+               "threads"});
+
+  const auto fj = lk23::run_forkjoin(spec, spec.bx * spec.by);
+  table.add_row({"fork-join (OpenMP-equiv)", format_seconds(fj.seconds),
+                 fmt(lk23::max_abs_diff(fj.za, ref), 17),
+                 std::to_string(fj.num_threads)});
+
+  const auto nobind = lk23::run_orwl(spec, place::Policy::None, topo);
+  table.add_row({"ORWL NoBind", format_seconds(nobind.seconds),
+                 fmt(lk23::max_abs_diff(nobind.za, ref), 17),
+                 std::to_string(nobind.num_tasks)});
+
+  const auto bind = lk23::run_orwl(spec, place::Policy::TreeMatch, topo);
+  table.add_row({"ORWL Bind (Algorithm 1)", format_seconds(bind.seconds),
+                 fmt(lk23::max_abs_diff(bind.za, ref), 17),
+                 std::to_string(bind.num_tasks)});
+
+  table.print(std::cout);
+
+  std::cout << "\nORWL Bind used control strategy '"
+            << treematch::to_string(bind.plan.treematch.control_used)
+            << "', oversubscribed="
+            << (bind.plan.treematch.oversubscribed ? "yes" : "no")
+            << " (threads/PU=" << bind.plan.treematch.threads_per_leaf
+            << ")\n";
+  return 0;
+}

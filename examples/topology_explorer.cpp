@@ -1,0 +1,63 @@
+// Topology explorer: prints the detected host topology and the paper's
+// 192-core machine, then shows what Algorithm 1 does with a stencil
+// application on each — the mapping, its locality metrics, and how the
+// alternative policies compare.
+
+#include <cmath>
+#include <iostream>
+
+#include "comm/metrics.h"
+#include "comm/patterns.h"
+#include "place/placement.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace orwl;
+
+void explore(const char* name, const topo::Topology& topo) {
+  std::cout << "=== " << name << " ===\n";
+  std::cout << "depth " << topo.depth() << ", " << topo.num_pus()
+            << " PUs, arities:";
+  for (int a : topo.arities()) std::cout << ' ' << a;
+  std::cout << (topo.is_balanced() ? " (balanced)" : " (irregular)") << "\n";
+  if (topo.num_pus() <= 16) std::cout << topo.to_string();
+
+  // A stencil as large as the machine.
+  const int p = topo.num_pus();
+  const int side = std::max(1, static_cast<int>(std::sqrt(double(p))));
+  comm::StencilSpec spec;
+  spec.blocks_y = side;
+  spec.blocks_x = p / side;
+  spec.block_rows = 256;
+  spec.block_cols = 256;
+  const int threads = spec.blocks_x * spec.blocks_y;
+  const auto m = comm::stencil_matrix(spec);
+
+  Table table({"policy", "hop-bytes (KiB)", "package-local %"});
+  for (place::Policy policy :
+       {place::Policy::TreeMatch, place::Policy::Compact,
+        place::Policy::Scatter, place::Policy::Random}) {
+    const place::Plan plan = place::compute_plan(policy, topo, m);
+    const double hb = comm::hop_bytes(topo, m, plan.compute_pu);
+    const double local =
+        comm::locality_fraction(topo, m, plan.compute_pu, 1);
+    table.add_row({place::to_string(policy), fmt(hb / 1024.0, 1),
+                   fmt(100.0 * local, 1)});
+  }
+  std::cout << "\nstencil of " << threads << " threads ("
+            << spec.blocks_x << "x" << spec.blocks_y << " blocks):\n";
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  explore("host machine (detected)", topo::Topology::host());
+  explore("paper machine (24 sockets x 8 cores)",
+          topo::Topology::paper_machine());
+  explore("SMT machine (2 sockets x 8 cores x 2 threads)",
+          topo::Topology::synthetic("pack:2 core:8 pu:2"));
+  return 0;
+}

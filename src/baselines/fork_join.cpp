@@ -1,0 +1,113 @@
+#include "baselines/fork_join.h"
+
+#include "support/assert.h"
+#include "support/thread.h"
+#include "topo/binding.h"
+
+namespace orwl::baselines {
+
+ForkJoinPool::ForkJoinPool(
+    int num_threads, std::vector<std::optional<topo::Bitmap>> worker_cpusets)
+    : num_threads_(num_threads) {
+  ORWL_CHECK_MSG(num_threads >= 1, "pool needs at least one thread");
+  ORWL_CHECK_MSG(worker_cpusets.empty() ||
+                     static_cast<int>(worker_cpusets.size()) == num_threads,
+                 "cpuset list size must match thread count");
+  if (!worker_cpusets.empty() && worker_cpusets[0])
+    topo::bind_current_thread(*worker_cpusets[0]);
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int rank = 1; rank < num_threads; ++rank) {
+    std::optional<topo::Bitmap> cpuset;
+    if (!worker_cpusets.empty())
+      cpuset = worker_cpusets[static_cast<std::size_t>(rank)];
+    workers_.emplace_back([this, rank, cpuset] { worker_loop(rank, cpuset); });
+  }
+}
+
+ForkJoinPool::~ForkJoinPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::pair<long, long> ForkJoinPool::static_chunk(long n, int rank,
+                                                 int nranks) {
+  ORWL_CHECK_MSG(rank >= 0 && rank < nranks, "bad rank " << rank);
+  const long base = n / nranks;
+  const long extra = n % nranks;
+  // First `extra` ranks get one item more, like OpenMP schedule(static).
+  const long begin = rank * base + std::min<long>(rank, extra);
+  const long len = base + (rank < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+void ForkJoinPool::run_chunk(int rank) {
+  const long n = end_ - begin_;
+  const auto [cb, ce] = static_chunk(n, rank, num_threads_);
+  if (cb >= ce) return;
+  try {
+    (*body_)(begin_ + cb, begin_ + ce);
+  } catch (...) {
+    std::lock_guard lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+}
+
+void ForkJoinPool::worker_loop(int rank, std::optional<topo::Bitmap> cpuset) {
+  set_current_thread_name("fj:" + std::to_string(rank));
+  if (cpuset) topo::bind_current_thread(*cpuset);
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock lock(mu_);
+      start_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+      if (stopping_) return;
+      seen = epoch_;
+    }
+    run_chunk(rank);
+    bool last = false;
+    {
+      std::lock_guard lock(mu_);
+      last = --remaining_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+void ForkJoinPool::parallel_for(long begin, long end,
+                                const std::function<void(long, long)>& body) {
+  ORWL_CHECK_MSG(begin <= end, "bad range [" << begin << ", " << end << ")");
+  {
+    std::lock_guard lock(mu_);
+    begin_ = begin;
+    end_ = end;
+    body_ = &body;
+    error_ = nullptr;
+    remaining_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  run_chunk(0);  // the caller is rank 0
+  {
+    std::unique_lock lock(mu_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    body_ = nullptr;
+    if (error_) {
+      auto err = error_;
+      error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void ForkJoinPool::parallel_for_each(long begin, long end,
+                                     const std::function<void(long)>& body) {
+  parallel_for(begin, end, [&](long b, long e) {
+    for (long i = b; i < e; ++i) body(i);
+  });
+}
+
+}  // namespace orwl::baselines

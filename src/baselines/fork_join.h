@@ -1,0 +1,72 @@
+#pragma once
+// ForkJoinPool: an OpenMP-equivalent execution model — a persistent worker
+// pool running statically-chunked parallel-for loops with an implicit
+// barrier. This is the "OpenMP of equivalent abstraction" baseline of the
+// paper's Figure 1: fork-join sweeps with no topology awareness (unless
+// cpusets are supplied).
+
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "topo/bitmap.h"
+
+namespace orwl::baselines {
+
+class ForkJoinPool {
+ public:
+  /// Use `num_threads` threads in total: the calling thread (rank 0) plus
+  /// num_threads - 1 spawned workers. `worker_cpusets`, when provided,
+  /// binds rank i to worker_cpusets[i] (empty optional = unbound).
+  explicit ForkJoinPool(
+      int num_threads,
+      std::vector<std::optional<topo::Bitmap>> worker_cpusets = {});
+  ~ForkJoinPool();
+
+  ForkJoinPool(const ForkJoinPool&) = delete;
+  ForkJoinPool& operator=(const ForkJoinPool&) = delete;
+
+  [[nodiscard]] int size() const { return num_threads_; }
+
+  /// Run body(chunk_begin, chunk_end) over static chunks of [begin, end);
+  /// implicit barrier before returning. The calling thread participates as
+  /// rank 0. Exceptions from the body propagate (first one wins). Must be
+  /// called from the thread that constructed the pool.
+  void parallel_for(long begin, long end,
+                    const std::function<void(long, long)>& body);
+
+  /// Convenience: body(i) per index.
+  void parallel_for_each(long begin, long end,
+                         const std::function<void(long)>& body);
+
+  /// Static chunk [begin, end) handed to `rank` of `nranks` for a global
+  /// range of `n` items (OpenMP schedule(static) semantics). Exposed for
+  /// tests.
+  static std::pair<long, long> static_chunk(long n, int rank, int nranks);
+
+ private:
+  void worker_loop(int rank, std::optional<topo::Bitmap> cpuset);
+  void run_chunk(int rank);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;  // bumped per parallel_for
+  int remaining_ = 0;        // workers still running the current epoch
+  bool stopping_ = false;
+
+  long begin_ = 0;
+  long end_ = 0;
+  const std::function<void(long, long)>* body_ = nullptr;
+  std::exception_ptr error_;
+};
+
+}  // namespace orwl::baselines

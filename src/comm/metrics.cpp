@@ -1,0 +1,85 @@
+#include "comm/metrics.h"
+
+#include "support/assert.h"
+#include "support/cast.h"
+
+namespace orwl::comm {
+
+namespace {
+
+// Apply f(weight, pu_a, pu_b) to every communicating mapped pair.
+template <class F>
+void for_each_pair(const topo::Topology& topo, const CommMatrix& m,
+                   const Mapping& mapping, F&& f) {
+  ORWL_CHECK_MSG(ssize_of(mapping) >= m.order(),
+                 "mapping shorter than matrix order");
+  const auto pus = topo.pus();
+  for (int i = 0; i < m.order(); ++i) {
+    const int pi = mapping[static_cast<std::size_t>(i)];
+    if (pi < 0) continue;
+    for (int j = i + 1; j < m.order(); ++j) {
+      const int pj = mapping[static_cast<std::size_t>(j)];
+      if (pj < 0) continue;
+      const double w = m.at(i, j);
+      if (w == 0.0) continue;
+      f(w, *pus[static_cast<std::size_t>(pi)],
+        *pus[static_cast<std::size_t>(pj)]);
+    }
+  }
+}
+
+}  // namespace
+
+double hop_bytes(const topo::Topology& topo, const CommMatrix& m,
+                 const Mapping& mapping) {
+  double total = 0.0;
+  for_each_pair(topo, m, mapping,
+                [&](double w, const topo::Object& a, const topo::Object& b) {
+                  total += w * topo.hop_distance(a, b);
+                });
+  return total;
+}
+
+double weighted_cost(const topo::Topology& topo, const CommMatrix& m,
+                     const Mapping& mapping,
+                     const std::vector<double>& level_cost) {
+  ORWL_CHECK_MSG(ssize_of(level_cost) >= topo.depth(),
+                 "level_cost needs an entry per topology level");
+  double total = 0.0;
+  for_each_pair(topo, m, mapping,
+                [&](double w, const topo::Object& a, const topo::Object& b) {
+                  const int dca = topo.common_ancestor_depth(a, b);
+                  total += w * level_cost[static_cast<std::size_t>(dca)];
+                });
+  return total;
+}
+
+double locality_fraction(const topo::Topology& topo, const CommMatrix& m,
+                         const Mapping& mapping, int depth) {
+  double local = 0.0;
+  double total = 0.0;
+  for_each_pair(topo, m, mapping,
+                [&](double w, const topo::Object& a, const topo::Object& b) {
+                  total += w;
+                  if (topo.common_ancestor_depth(a, b) >= depth) local += w;
+                });
+  return total == 0.0 ? 1.0 : local / total;
+}
+
+void validate_mapping(const topo::Topology& topo, const Mapping& mapping,
+                      int max_per_pu) {
+  ORWL_CHECK_MSG(max_per_pu >= 1, "max_per_pu must be positive");
+  std::vector<int> load(static_cast<std::size_t>(topo.num_pus()), 0);
+  for (std::size_t t = 0; t < mapping.size(); ++t) {
+    const int pu = mapping[t];
+    if (pu < 0) continue;
+    ORWL_CHECK_MSG(pu < topo.num_pus(),
+                   "thread " << t << " mapped to PU " << pu << " but topology"
+                             << " has " << topo.num_pus() << " PUs");
+    load[static_cast<std::size_t>(pu)]++;
+    ORWL_CHECK_MSG(load[static_cast<std::size_t>(pu)] <= max_per_pu,
+                   "PU " << pu << " oversubscribed beyond " << max_per_pu);
+  }
+}
+
+}  // namespace orwl::comm

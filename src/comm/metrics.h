@@ -1,0 +1,40 @@
+#pragma once
+// Locality metrics for evaluating a thread→PU mapping against a
+// communication matrix on a topology. Used by the ablation benches and the
+// property tests ("TreeMatch ≥ random").
+
+#include <vector>
+
+#include "comm/comm_matrix.h"
+#include "topo/topology.h"
+
+namespace orwl::comm {
+
+/// A mapping assigns thread t to PU index mapping[t] (logical PU index in
+/// topo.pus(), NOT the OS index). -1 means unmapped (skipped by metrics).
+using Mapping = std::vector<int>;
+
+/// Hop-bytes: sum over thread pairs of weight(i,j) * hop_distance(pu_i,pu_j).
+/// Lower is better; 0 when all communicating threads share PUs.
+double hop_bytes(const topo::Topology& topo, const CommMatrix& m,
+                 const Mapping& mapping);
+
+/// Communication cost with per-level weights: for each pair, the cost factor
+/// is level_cost[dca_depth] where dca_depth is the depth of the deepest
+/// common ancestor of the two PUs (level_cost.size() must be >= topo.depth()).
+/// Models "crossing a higher level is more expensive".
+double weighted_cost(const topo::Topology& topo, const CommMatrix& m,
+                     const Mapping& mapping,
+                     const std::vector<double>& level_cost);
+
+/// Fraction of communication volume that stays below the given depth (e.g.
+/// within a package when depth = package depth). In [0, 1].
+double locality_fraction(const topo::Topology& topo, const CommMatrix& m,
+                         const Mapping& mapping, int depth);
+
+/// Validate a mapping: every entry in [-1, num_pus), and no PU oversubscribed
+/// beyond `max_per_pu`. Throws ContractError on violation.
+void validate_mapping(const topo::Topology& topo, const Mapping& mapping,
+                      int max_per_pu = 1);
+
+}  // namespace orwl::comm

@@ -1,0 +1,89 @@
+#include "lk23/forkjoin_impl.h"
+
+#include "baselines/fork_join.h"
+#include "support/assert.h"
+#include "support/time.h"
+
+namespace orwl::lk23 {
+
+ForkJoinRunResult run_forkjoin(const Spec& spec, int num_threads,
+                               const topo::Topology* topo) {
+  ORWL_CHECK_MSG(spec.n >= 2 && spec.bx >= 1 && spec.by >= 1 &&
+                     spec.n % spec.bx == 0 && spec.n % spec.by == 0,
+                 "block grid must divide the matrix");
+  ORWL_CHECK_MSG(num_threads >= 1, "need at least one thread");
+
+  const long n = spec.n;
+  const int B = spec.bx * spec.by;
+  const long brows = n / spec.by;
+  const long bcols = n / spec.bx;
+
+  std::vector<std::optional<topo::Bitmap>> cpusets;
+  if (topo != nullptr) {
+    const auto pus = topo->pus();
+    cpusets.resize(static_cast<std::size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t)
+      cpusets[static_cast<std::size_t>(t)] =
+          pus[static_cast<std::size_t>(t % topo->num_pus())]->cpuset;
+  }
+  baselines::ForkJoinPool pool(num_threads, std::move(cpusets));
+
+  // Serial initialization — the naive first-touch pattern of the paper's
+  // OpenMP baseline.
+  std::vector<double> za(static_cast<std::size_t>(n * n));
+  BlockView whole{za.data(), n, n, n, 0, 0, n};
+  init_block(whole);
+
+  std::vector<Halo> halos(static_cast<std::size_t>(B));
+  for (auto& h : halos) {
+    h.north.resize(static_cast<std::size_t>(bcols));
+    h.south.resize(static_cast<std::size_t>(bcols));
+    h.west.resize(static_cast<std::size_t>(brows));
+    h.east.resize(static_cast<std::size_t>(brows));
+  }
+
+  auto block_origin = [&](int b) {
+    return std::pair<long, long>{(b / spec.bx) * brows,
+                                 (b % spec.bx) * bcols};
+  };
+  auto at = [&](long j, long k) -> double {
+    if (j < 0 || k < 0 || j >= n || k >= n) return 0.0;
+    return za[static_cast<std::size_t>(j * n + k)];
+  };
+
+  WallTimer timer;
+  for (int it = 0; it < spec.iterations; ++it) {
+    // Phase 1: snapshot every block's frontier (previous-iteration values).
+    pool.parallel_for_each(0, B, [&](long b) {
+      const auto [row0, col0] = block_origin(static_cast<int>(b));
+      Halo& h = halos[static_cast<std::size_t>(b)];
+      for (long c = 0; c < bcols; ++c) {
+        h.north[static_cast<std::size_t>(c)] = at(row0 - 1, col0 + c);
+        h.south[static_cast<std::size_t>(c)] = at(row0 + brows, col0 + c);
+      }
+      for (long r = 0; r < brows; ++r) {
+        h.west[static_cast<std::size_t>(r)] = at(row0 + r, col0 - 1);
+        h.east[static_cast<std::size_t>(r)] = at(row0 + r, col0 + bcols);
+      }
+      h.nw = at(row0 - 1, col0 - 1);
+      h.ne = at(row0 - 1, col0 + bcols);
+      h.sw = at(row0 + brows, col0 - 1);
+      h.se = at(row0 + brows, col0 + bcols);
+    });
+    // Phase 2: sweep all blocks in place.
+    pool.parallel_for_each(0, B, [&](long b) {
+      const auto [row0, col0] = block_origin(static_cast<int>(b));
+      BlockView blk{za.data() + row0 * n + col0, n, brows, bcols, row0, col0,
+                    n};
+      sweep_block(blk, halos[static_cast<std::size_t>(b)]);
+    });
+  }
+
+  ForkJoinRunResult res;
+  res.seconds = timer.seconds();
+  res.num_threads = num_threads;
+  res.za = std::move(za);
+  return res;
+}
+
+}  // namespace orwl::lk23

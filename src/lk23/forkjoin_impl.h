@@ -1,0 +1,29 @@
+#pragma once
+// Fork-join (OpenMP-equivalent) implementation of Livermore Kernel 23:
+// the same block decomposition and halo semantics as the ORWL version,
+// executed as two statically-scheduled parallel-for phases per iteration
+// (snapshot frontiers, then sweep) with implicit barriers — exactly what
+// `#pragma omp parallel for` over blocks does. Numerically bit-identical
+// to blocked_reference() and the ORWL implementation.
+
+#include <optional>
+#include <vector>
+
+#include "lk23/kernel.h"
+#include "topo/topology.h"
+
+namespace orwl::lk23 {
+
+struct ForkJoinRunResult {
+  std::vector<double> za;
+  double seconds = 0.0;
+  int num_threads = 0;
+};
+
+/// Run with `num_threads` pool threads. When `topo` is given, workers are
+/// bound compactly to its PUs ("OpenMP + OMP_PROC_BIND" variant); otherwise
+/// they stay unbound like the paper's baseline.
+ForkJoinRunResult run_forkjoin(const Spec& spec, int num_threads,
+                               const topo::Topology* topo = nullptr);
+
+}  // namespace orwl::lk23

@@ -1,0 +1,337 @@
+#include "lk23/orwl_impl.h"
+
+#include <cstring>
+#include <memory>
+
+#include "support/assert.h"
+#include "support/time.h"
+
+namespace orwl::lk23 {
+
+int opposite(int dir) {
+  switch (dir) {
+    case N: return S;
+    case S: return N;
+    case W: return E;
+    case E: return W;
+    case NW: return SE;
+    case NE: return SW;
+    case SW: return NE;
+    case SE: return NW;
+  }
+  ORWL_CHECK_MSG(false, "bad direction " << dir);
+  return -1;
+}
+
+std::pair<int, int> dir_delta(int dir) {
+  switch (dir) {
+    case N: return {0, -1};
+    case S: return {0, +1};
+    case W: return {-1, 0};
+    case E: return {+1, 0};
+    case NW: return {-1, -1};
+    case NE: return {+1, -1};
+    case SW: return {-1, +1};
+    case SE: return {+1, +1};
+  }
+  ORWL_CHECK_MSG(false, "bad direction " << dir);
+  return {0, 0};
+}
+
+namespace {
+
+// Face geometry: number of doubles block b exports towards `dir`.
+long face_elems(const Spec& spec, int dir) {
+  const long brows = spec.n / spec.by;
+  const long bcols = spec.n / spec.bx;
+  if (dir == N || dir == S) return bcols;
+  if (dir == W || dir == E) return brows;
+  return 1;  // corners
+}
+
+// Copy the face of a contiguous block buffer towards `dir` into `out`.
+void copy_face(const double* za, long rows, long cols, int dir, double* out) {
+  switch (dir) {
+    case N: std::memcpy(out, za, static_cast<std::size_t>(cols) * 8); return;
+    case S:
+      std::memcpy(out, za + (rows - 1) * cols,
+                  static_cast<std::size_t>(cols) * 8);
+      return;
+    case W:
+      for (long r = 0; r < rows; ++r) out[r] = za[r * cols];
+      return;
+    case E:
+      for (long r = 0; r < rows; ++r) out[r] = za[r * cols + cols - 1];
+      return;
+    case NW: out[0] = za[0]; return;
+    case NE: out[0] = za[cols - 1]; return;
+    case SW: out[0] = za[(rows - 1) * cols]; return;
+    case SE: out[0] = za[(rows - 1) * cols + cols - 1]; return;
+  }
+  ORWL_CHECK_MSG(false, "bad direction " << dir);
+}
+
+// Per-main-task mutable state (halo buffers), shared with the lambda.
+struct MainState {
+  Halo halo;
+  // Read handles per direction (-1 when no neighbour).
+  std::array<HandleId, kDirs> read = {-1, -1, -1, -1, -1, -1, -1, -1};
+  HandleId write = -1;
+  long rows = 0, cols = 0, row0 = 0, col0 = 0;
+};
+
+struct FopState {
+  HandleId read_block = -1;
+  HandleId write_front = -1;
+  std::vector<double> face;
+  long rows = 0, cols = 0;
+  int dir = 0;
+};
+
+}  // namespace
+
+OrwlProgram build_orwl_program(Runtime& rt, const Spec& spec) {
+  ORWL_CHECK_MSG(spec.n >= 2 && spec.bx >= 1 && spec.by >= 1 &&
+                     spec.n % spec.bx == 0 && spec.n % spec.by == 0,
+                 "block grid must divide the matrix");
+  ORWL_CHECK_MSG(spec.iterations >= 0, "negative iteration count");
+
+  OrwlProgram prog;
+  prog.spec = spec;
+  const int B = spec.bx * spec.by;
+  const long brows = spec.n / spec.by;
+  const long bcols = spec.n / spec.bx;
+
+  auto block_id = [&](int x, int y) { return y * spec.bx + x; };
+  auto has_neighbour = [&](int x, int y, int dir) {
+    const auto [dx, dy] = dir_delta(dir);
+    const int nx = x + dx;
+    const int ny = y + dy;
+    return nx >= 0 && ny >= 0 && nx < spec.bx && ny < spec.by;
+  };
+  auto neighbour_id = [&](int b, int dir) {
+    const int x = b % spec.bx;
+    const int y = b / spec.bx;
+    const auto [dx, dy] = dir_delta(dir);
+    return block_id(x + dx, y + dy);
+  };
+
+  // --- locations -----------------------------------------------------------
+  prog.block_loc.resize(static_cast<std::size_t>(B));
+  prog.frontier_loc.assign(static_cast<std::size_t>(B),
+                           {-1, -1, -1, -1, -1, -1, -1, -1});
+  for (int b = 0; b < B; ++b) {
+    prog.block_loc[static_cast<std::size_t>(b)] = rt.add_location(
+        static_cast<std::size_t>(brows * bcols) * sizeof(double),
+        "block" + std::to_string(b));
+  }
+  // Every block owns 8 frontier locations (paper Sec. III: one main
+  // operation plus eight sub-operations per block); exports at the global
+  // border simply have no consumer.
+  for (int b = 0; b < B; ++b) {
+    for (int d = 0; d < kDirs; ++d) {
+      prog.frontier_loc[static_cast<std::size_t>(b)][static_cast<std::size_t>(
+          d)] =
+          rt.add_location(
+              static_cast<std::size_t>(face_elems(spec, d)) * sizeof(double),
+              "front" + std::to_string(b) + "d" + std::to_string(d));
+    }
+  }
+
+  // --- tasks ---------------------------------------------------------------
+  // Main tasks first, then frontier ops; bodies are wired after handle
+  // registration via shared state.
+  std::vector<std::shared_ptr<MainState>> mains(static_cast<std::size_t>(B));
+  std::vector<std::shared_ptr<FopState>> fops;
+
+  prog.main_task.resize(static_cast<std::size_t>(B));
+  const int T = spec.iterations;
+
+  for (int b = 0; b < B; ++b) {
+    auto state = std::make_shared<MainState>();
+    state->rows = brows;
+    state->cols = bcols;
+    state->row0 = (b / spec.bx) * brows;
+    state->col0 = (b % spec.bx) * bcols;
+    state->halo.north.resize(static_cast<std::size_t>(bcols));
+    state->halo.south.resize(static_cast<std::size_t>(bcols));
+    state->halo.west.resize(static_cast<std::size_t>(brows));
+    state->halo.east.resize(static_cast<std::size_t>(brows));
+    mains[static_cast<std::size_t>(b)] = state;
+
+    const long n = spec.n;
+    prog.main_task[static_cast<std::size_t>(b)] = rt.add_task(
+        "main" + std::to_string(b), [state, T, n](TaskContext& ctx) {
+          // Round 0: initialize the block under the first write grant.
+          Handle& w = ctx.handle(state->write);
+          {
+            auto bytes = w.acquire();
+            BlockView blk{as_span<double>(bytes).data(), state->cols,
+                          state->rows, state->cols, state->row0, state->col0,
+                          n};
+            init_block(blk);
+            w.release_and_renew();
+          }
+          for (int it = 1; it <= T; ++it) {
+            // Gather the previous iteration's frontiers into the halo.
+            for (int d = 0; d < kDirs; ++d) {
+              const HandleId h = state->read[static_cast<std::size_t>(d)];
+              if (h < 0) continue;
+              Handle& r = ctx.handle(h);
+              auto face = as_span<const double>(
+                  std::span<const std::byte>(r.acquire()));
+              switch (d) {
+                case N:
+                  std::copy(face.begin(), face.end(),
+                            state->halo.north.begin());
+                  break;
+                case S:
+                  std::copy(face.begin(), face.end(),
+                            state->halo.south.begin());
+                  break;
+                case W:
+                  std::copy(face.begin(), face.end(),
+                            state->halo.west.begin());
+                  break;
+                case E:
+                  std::copy(face.begin(), face.end(),
+                            state->halo.east.begin());
+                  break;
+                case NW: state->halo.nw = face[0]; break;
+                case NE: state->halo.ne = face[0]; break;
+                case SW: state->halo.sw = face[0]; break;
+                case SE: state->halo.se = face[0]; break;
+              }
+              r.release_and_renew();
+            }
+            // Sweep under the write grant.
+            auto bytes = w.acquire();
+            BlockView blk{as_span<double>(bytes).data(), state->cols,
+                          state->rows, state->cols, state->row0, state->col0,
+                          n};
+            sweep_block(blk, state->halo);
+            w.release_and_renew();
+          }
+        });
+  }
+
+  for (int b = 0; b < B; ++b) {
+    for (int d = 0; d < kDirs; ++d) {
+      auto state = std::make_shared<FopState>();
+      state->rows = brows;
+      state->cols = bcols;
+      state->dir = d;
+      state->face.resize(static_cast<std::size_t>(face_elems(spec, d)));
+      fops.push_back(state);
+      rt.add_task("fop" + std::to_string(b) + "d" + std::to_string(d),
+                  [state, T](TaskContext& ctx) {
+                    Handle& r = ctx.handle(state->read_block);
+                    Handle& w = ctx.handle(state->write_front);
+                    // Export rounds 0..T-1 (initial content and the first
+                    // T-1 sweeps); round r feeds the neighbour's halo for
+                    // its sweep r+1.
+                    for (int round = 0; round < T; ++round) {
+                      {
+                        auto bytes = std::span<const std::byte>(r.acquire());
+                        copy_face(as_span<const double>(bytes).data(),
+                                  state->rows, state->cols, state->dir,
+                                  state->face.data());
+                        r.release_and_renew();
+                      }
+                      auto out = w.acquire();
+                      std::memcpy(out.data(), state->face.data(),
+                                  state->face.size() * sizeof(double));
+                      w.release_and_renew();
+                    }
+                  });
+    }
+  }
+
+  // --- handles, in canonical priming order ---------------------------------
+  // 1) Block locations: the main's write first, then the frontier reads.
+  std::size_t fop_idx = 0;
+  std::vector<std::pair<int, int>> fop_owner;  // (block, dir) per fop task id
+  for (int b = 0; b < B; ++b) {
+    mains[static_cast<std::size_t>(b)]->write = rt.add_handle(
+        prog.main_task[static_cast<std::size_t>(b)],
+        prog.block_loc[static_cast<std::size_t>(b)], AccessMode::Write);
+  }
+  // Frontier-op task ids start after the B main tasks, in creation order.
+  {
+    int fop_task = B;
+    for (int b = 0; b < B; ++b) {
+      for (int d = 0; d < kDirs; ++d) {
+        auto& state = fops[fop_idx];
+        state->read_block = rt.add_handle(
+            fop_task, prog.block_loc[static_cast<std::size_t>(b)],
+            AccessMode::Read);
+        fop_owner.emplace_back(b, d);
+        ++fop_task;
+        ++fop_idx;
+      }
+    }
+  }
+  // 2) Frontier locations: the exporter's write first, then the
+  //    neighbour main's read (border exports have no reader).
+  {
+    int fop_task = B;
+    for (std::size_t f = 0; f < fops.size(); ++f, ++fop_task) {
+      const auto [b, d] = fop_owner[f];
+      const LocationId loc =
+          prog.frontier_loc[static_cast<std::size_t>(b)]
+                           [static_cast<std::size_t>(d)];
+      fops[f]->write_front = rt.add_handle(fop_task, loc, AccessMode::Write);
+      if (!has_neighbour(b % spec.bx, b / spec.bx, d)) continue;
+      const int nb = neighbour_id(b, d);
+      // Block nb sees block b in direction opposite(d).
+      mains[static_cast<std::size_t>(nb)]
+          ->read[static_cast<std::size_t>(opposite(d))] =
+          rt.add_handle(prog.main_task[static_cast<std::size_t>(nb)], loc,
+                        AccessMode::Read);
+    }
+  }
+
+  prog.num_tasks = rt.num_tasks();
+  return prog;
+}
+
+std::vector<double> extract_field(Runtime& rt, const OrwlProgram& prog) {
+  const Spec& spec = prog.spec;
+  const long n = spec.n;
+  const long brows = n / spec.by;
+  const long bcols = n / spec.bx;
+  std::vector<double> za(static_cast<std::size_t>(n * n));
+  for (int b = 0; b < spec.bx * spec.by; ++b) {
+    const long row0 = (b / spec.bx) * brows;
+    const long col0 = (b % spec.bx) * bcols;
+    const auto bytes = rt.location_data(
+        prog.block_loc[static_cast<std::size_t>(b)]);
+    const auto src = as_span<const double>(
+        std::span<const std::byte>(bytes.data(), bytes.size()));
+    for (long r = 0; r < brows; ++r)
+      std::memcpy(za.data() + (row0 + r) * n + col0, src.data() + r * bcols,
+                  static_cast<std::size_t>(bcols) * sizeof(double));
+  }
+  return za;
+}
+
+OrwlRunResult run_orwl(const Spec& spec, place::Policy policy,
+                       const topo::Topology& topo, RuntimeOptions opts) {
+  Runtime rt(opts);
+  const OrwlProgram prog = build_orwl_program(rt, spec);
+
+  OrwlRunResult res;
+  res.num_tasks = prog.num_tasks;
+  res.static_matrix = rt.static_comm_matrix();
+  res.plan = place::compute_plan(policy, topo, res.static_matrix);
+  place::apply_plan(res.plan, topo, rt);
+
+  WallTimer timer;
+  rt.run();
+  res.seconds = timer.seconds();
+  res.grants = rt.stats().read_grants() + rt.stats().write_grants();
+  res.za = extract_field(rt, prog);
+  return res;
+}
+
+}  // namespace orwl::lk23

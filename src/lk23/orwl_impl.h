@@ -1,0 +1,65 @@
+#pragma once
+// The ORWL implementation of Livermore Kernel 23, following the paper's
+// decomposition (Sec. III): the matrix is split into blocks; each block has
+// one *main* operation that performs the sweep and one frontier
+// sub-operation per existing neighbour (up to 8) that exports the block's
+// edge/corner towards that neighbour through its own orwl location. Every
+// operation runs on an independent thread; read/write dependencies go
+// through handles, so the FIFO ordering drives the iteration lock-step.
+
+#include <array>
+#include <vector>
+
+#include "lk23/kernel.h"
+#include "orwl/runtime.h"
+#include "place/placement.h"
+#include "topo/topology.h"
+
+namespace orwl::lk23 {
+
+/// The 8 frontier directions.
+enum Dir : int { N = 0, S, W, E, NW, NE, SW, SE, kDirs };
+
+/// Opposite direction (N<->S, NW<->SE, ...).
+int opposite(int dir);
+
+/// Neighbour block delta for a direction: {dx, dy} with y growing south.
+std::pair<int, int> dir_delta(int dir);
+
+/// Ids of everything built into a Runtime for one LK23 program.
+struct OrwlProgram {
+  Spec spec;
+  /// block b = y * bx + x.
+  std::vector<LocationId> block_loc;
+  /// frontier_loc[b][d]: location holding block b's face towards d, or -1
+  /// when there is no neighbour in that direction.
+  std::vector<std::array<LocationId, kDirs>> frontier_loc;
+  /// main_task[b]: the sweep operation of block b.
+  std::vector<TaskId> main_task;
+  /// Total operation threads (mains + frontier ops).
+  int num_tasks = 0;
+};
+
+/// Build locations, tasks and handles for `spec` into `rt`. Handles are
+/// registered in the canonical liveness order (block writes before block
+/// reads; frontier writes before frontier reads).
+OrwlProgram build_orwl_program(Runtime& rt, const Spec& spec);
+
+/// Copy the final block contents out of the runtime into a full n×n field.
+std::vector<double> extract_field(Runtime& rt, const OrwlProgram& prog);
+
+/// Result of a full run.
+struct OrwlRunResult {
+  std::vector<double> za;
+  double seconds = 0.0;           ///< wall time of Runtime::run()
+  int num_tasks = 0;
+  comm::CommMatrix static_matrix{1};
+  place::Plan plan;
+  std::uint64_t grants = 0;
+};
+
+/// Build, place (policy), run and extract. `opts` selects the control mode.
+OrwlRunResult run_orwl(const Spec& spec, place::Policy policy,
+                       const topo::Topology& topo, RuntimeOptions opts = {});
+
+}  // namespace orwl::lk23

@@ -1,0 +1,35 @@
+#include "orwl/events.h"
+
+namespace orwl {
+
+void EventQueue::post(Event ev) {
+  {
+    std::lock_guard lock(mu_);
+    events_.push_back(ev);
+  }
+  cv_.notify_one();
+}
+
+std::optional<Event> EventQueue::pop() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return stopped_ || !events_.empty(); });
+  if (events_.empty()) return std::nullopt;
+  Event ev = events_.front();
+  events_.pop_front();
+  return ev;
+}
+
+void EventQueue::stop() {
+  {
+    std::lock_guard lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t EventQueue::pending() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+}  // namespace orwl

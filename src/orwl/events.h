@@ -1,0 +1,53 @@
+#pragma once
+// Event queue feeding a control thread. The ORWL runtime is event-based:
+// when a request reaches the grant frontier of a location FIFO, the grant
+// is *announced* to the owning task's control thread, which performs the
+// delivery (waking the compute thread). Binding these control threads well
+// is half of the paper's placement problem.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "orwl/fwd.h"
+
+namespace orwl {
+
+struct Request;
+
+/// A grant announcement.
+struct Event {
+  Request* request = nullptr;
+};
+
+/// Unbounded MPSC event queue with blocking pop and shutdown.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Enqueue an event. Safe from any thread, including while a location
+  /// queue lock is held.
+  void post(Event ev);
+
+  /// Block until an event is available or stop() is called.
+  /// Returns nullopt once stopped and drained.
+  std::optional<Event> pop();
+
+  /// Wake all poppers; subsequent pops drain the backlog then return
+  /// nullopt.
+  void stop();
+
+  /// Events currently queued (diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Event> events_;
+  bool stopped_ = false;
+};
+
+}  // namespace orwl

@@ -1,0 +1,25 @@
+#pragma once
+// Shared identifiers and enums of the ORWL runtime.
+
+#include <cstdint>
+
+namespace orwl {
+
+/// Dense id of a location within a Runtime.
+using LocationId = int;
+/// Dense id of a task (one task == one operation == one compute thread).
+using TaskId = int;
+/// Dense id of a handle within a Runtime.
+using HandleId = int;
+/// Per-location monotonically increasing request ticket.
+using Ticket = std::uint64_t;
+
+/// Access mode of a request. Consecutive Read requests at the head of a
+/// location's FIFO are granted together; Write is exclusive.
+enum class AccessMode : std::uint8_t { Read, Write };
+
+inline const char* to_string(AccessMode m) {
+  return m == AccessMode::Read ? "read" : "write";
+}
+
+}  // namespace orwl

@@ -1,0 +1,76 @@
+#include "orwl/handle.h"
+
+#include "support/assert.h"
+
+namespace orwl {
+
+Handle::Handle(HandleId id, TaskId task, Location& location, AccessMode mode)
+    : id_(id), task_(task), location_(location), mode_(mode) {
+  for (Request& r : slots_) {
+    r.mode = mode;
+    r.owner = task;
+    r.handle = id;
+    r.location = location.id();
+    r.user = this;
+  }
+}
+
+void Handle::request() {
+  ORWL_CHECK_MSG(!acquired_, "request() while holding the lock; use "
+                             "release_and_renew() instead");
+  ORWL_CHECK_MSG(current().state == RequestState::Inactive,
+                 "handle " << id_ << " already has a request in flight");
+  location_.queue().insert(current());
+}
+
+std::span<std::byte> Handle::acquire() {
+  ORWL_CHECK_MSG(!acquired_, "acquire() while already holding the lock");
+  ORWL_CHECK_MSG(current().state != RequestState::Inactive,
+                 "acquire() without a prior request()");
+  {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return delivered_; });
+  }
+  acquired_ = true;
+  return location_.data();
+}
+
+bool Handle::test() const {
+  std::lock_guard lock(mu_);
+  return delivered_;
+}
+
+void Handle::release() {
+  ORWL_CHECK_MSG(acquired_, "release() without acquire()");
+  {
+    std::lock_guard lock(mu_);
+    delivered_ = false;
+  }
+  acquired_ = false;
+  location_.queue().release(current());
+}
+
+void Handle::release_and_renew() {
+  ORWL_CHECK_MSG(acquired_, "release_and_renew() without acquire()");
+  {
+    std::lock_guard lock(mu_);
+    delivered_ = false;
+  }
+  acquired_ = false;
+  // The spare slot becomes the next-iteration request; it may be granted
+  // (and delivered) before release_and_renew returns.
+  Request& cur = current();
+  Request& next = spare();
+  active_ ^= 1;
+  location_.queue().release_and_renew(cur, next);
+}
+
+void Handle::deliver_grant() {
+  {
+    std::lock_guard lock(mu_);
+    delivered_ = true;
+  }
+  cv_.notify_one();
+}
+
+}  // namespace orwl

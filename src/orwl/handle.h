@@ -1,0 +1,92 @@
+#pragma once
+// Handle: a task's capability on a location (the orwl_handle primitive).
+//
+// Life cycle per iteration:
+//   request()            — enqueue into the location FIFO (done once by the
+//                          runtime in canonical order when auto-primed)
+//   acquire()            — block until the grant is delivered; returns the
+//                          guarded buffer
+//   release()            — give the lock up, or
+//   release_and_renew()  — give it up AND re-enqueue in the same FIFO
+//                          position relative to the other iterative handles
+//                          (the ORWL iterative discipline).
+//
+// A handle keeps two Request slots and alternates between them so a renewal
+// can be in flight while the current grant is still held.
+
+#include <condition_variable>
+#include <mutex>
+#include <span>
+
+#include "orwl/location.h"
+#include "orwl/queue.h"
+
+namespace orwl {
+
+class Handle {
+ public:
+  Handle(HandleId id, TaskId task, Location& location, AccessMode mode);
+
+  Handle(const Handle&) = delete;
+  Handle& operator=(const Handle&) = delete;
+
+  [[nodiscard]] HandleId id() const { return id_; }
+  [[nodiscard]] TaskId task() const { return task_; }
+  [[nodiscard]] LocationId location() const { return location_.id(); }
+  [[nodiscard]] AccessMode mode() const { return mode_; }
+
+  /// Enqueue the next request. Called by the runtime for priming; user code
+  /// calls it only for non-iterative (manual) protocols.
+  void request();
+
+  /// Block until granted. Returns the location buffer (read-only views are
+  /// fine for Write handles; Read handles must not write — enforced in
+  /// debug builds by checksumming in tests, not at runtime).
+  std::span<std::byte> acquire();
+
+  /// Non-blocking poll: true when the grant has been delivered.
+  [[nodiscard]] bool test() const;
+
+  /// Release without renewing (last iteration / manual protocols).
+  void release();
+
+  /// Release and atomically re-enqueue for the next iteration.
+  void release_and_renew();
+
+  /// True while the task holds the lock (between acquire and release).
+  [[nodiscard]] bool acquired() const { return acquired_; }
+
+  /// Grant delivery — called by the runtime (directly or from a control
+  /// thread). Not for user code.
+  void deliver_grant();
+
+ private:
+  Request& current() { return slots_[active_]; }
+  Request& spare() { return slots_[active_ ^ 1]; }
+
+  HandleId id_;
+  TaskId task_;
+  Location& location_;
+  AccessMode mode_;
+
+  Request slots_[2];
+  int active_ = 0;
+  bool acquired_ = false;  // owner-thread view; no lock needed
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool delivered_ = false;
+};
+
+/// Typed view helper: reinterpret a byte span as a span of T.
+template <class T>
+std::span<T> as_span(std::span<std::byte> bytes) {
+  return {reinterpret_cast<T*>(bytes.data()), bytes.size() / sizeof(T)};
+}
+template <class T>
+std::span<const T> as_span(std::span<const std::byte> bytes) {
+  return {reinterpret_cast<const T*>(bytes.data()),
+          bytes.size() / sizeof(T)};
+}
+
+}  // namespace orwl

@@ -1,0 +1,37 @@
+#include "orwl/instrument.h"
+
+#include "support/assert.h"
+
+namespace orwl {
+
+Instrument::Instrument(int num_tasks) : flows_(num_tasks) {}
+
+void Instrument::resize(int num_tasks) {
+  std::lock_guard lock(mu_);
+  ORWL_CHECK_MSG(num_tasks >= flows_.order(),
+                 "instrument cannot shrink below recorded tasks");
+  flows_.resize(num_tasks);
+}
+
+void Instrument::record_grant(AccessMode mode) {
+  auto& ctr = mode == AccessMode::Read ? read_grants_ : write_grants_;
+  ctr.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Instrument::record_release() {
+  releases_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Instrument::record_flow(TaskId from, TaskId to, std::size_t bytes) {
+  if (from < 0 || to < 0 || from == to || bytes == 0) return;
+  std::lock_guard lock(mu_);
+  if (from >= flows_.order() || to >= flows_.order()) return;
+  flows_.add(from, to, static_cast<double>(bytes));
+}
+
+comm::CommMatrix Instrument::flow_matrix() const {
+  std::lock_guard lock(mu_);
+  return flows_;
+}
+
+}  // namespace orwl

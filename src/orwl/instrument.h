@@ -1,0 +1,52 @@
+#pragma once
+// Runtime instrumentation: grant/release counters and the measured
+// communication-flow matrix the placement module feeds to Algorithm 1.
+// "We exploit application information as it is gathered from ORWL runtime
+// to construct a weighted matrix that expresses the communication volume
+// between threads" (paper, Sec. II).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "comm/comm_matrix.h"
+#include "orwl/fwd.h"
+
+namespace orwl {
+
+class Instrument {
+ public:
+  explicit Instrument(int num_tasks);
+
+  /// Grow the matrix when tasks are added after construction.
+  void resize(int num_tasks);
+
+  void record_grant(AccessMode mode);
+  void record_release();
+
+  /// Account `bytes` flowing from task `from` (producer) to `to`
+  /// (consumer). Ignored when from < 0 or from == to.
+  void record_flow(TaskId from, TaskId to, std::size_t bytes);
+
+  [[nodiscard]] std::uint64_t read_grants() const {
+    return read_grants_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t write_grants() const {
+    return write_grants_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t releases() const {
+    return releases_.load(std::memory_order_relaxed);
+  }
+
+  /// Symmetric matrix of bytes exchanged between tasks so far.
+  [[nodiscard]] comm::CommMatrix flow_matrix() const;
+
+ private:
+  std::atomic<std::uint64_t> read_grants_{0};
+  std::atomic<std::uint64_t> write_grants_{0};
+  std::atomic<std::uint64_t> releases_{0};
+  mutable std::mutex mu_;
+  comm::CommMatrix flows_;
+};
+
+}  // namespace orwl

@@ -1,0 +1,12 @@
+#include "orwl/location.h"
+
+namespace orwl {
+
+Location::Location(LocationId id, std::size_t bytes, std::string name,
+                   GrantSink on_grant)
+    : id_(id),
+      name_(std::move(name)),
+      data_(bytes),
+      queue_(std::move(on_grant)) {}
+
+}  // namespace orwl

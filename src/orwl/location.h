@@ -1,0 +1,57 @@
+#pragma once
+// Location: the ORWL abstraction of a shared resource — a byte buffer
+// guarded by an ordered read-write lock (a FifoQueue).
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "orwl/queue.h"
+
+namespace orwl {
+
+class Location {
+ public:
+  /// `bytes` may be zero (pure synchronization location).
+  Location(LocationId id, std::size_t bytes, std::string name,
+           GrantSink on_grant);
+
+  Location(const Location&) = delete;
+  Location& operator=(const Location&) = delete;
+
+  [[nodiscard]] LocationId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// The guarded buffer. Callers must hold a granted request to touch it;
+  /// handles enforce this, direct Runtime access is for pre-run init.
+  [[nodiscard]] std::span<std::byte> data() {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] std::span<const std::byte> data() const {
+    return {data_.data(), data_.size()};
+  }
+
+  [[nodiscard]] FifoQueue& queue() { return queue_; }
+  [[nodiscard]] const FifoQueue& queue() const { return queue_; }
+
+  /// Task that last held a Write grant; -1 initially. Used by the
+  /// instrumentation to attribute read bytes to a producer.
+  [[nodiscard]] TaskId last_writer() const {
+    return last_writer_.load(std::memory_order_relaxed);
+  }
+  void set_last_writer(TaskId t) {
+    last_writer_.store(t, std::memory_order_relaxed);
+  }
+
+ private:
+  LocationId id_;
+  std::string name_;
+  std::vector<std::byte> data_;
+  FifoQueue queue_;
+  std::atomic<TaskId> last_writer_{-1};
+};
+
+}  // namespace orwl

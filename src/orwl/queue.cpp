@@ -1,0 +1,95 @@
+#include "orwl/queue.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace orwl {
+
+FifoQueue::FifoQueue(GrantSink on_grant) : on_grant_(std::move(on_grant)) {
+  ORWL_CHECK_MSG(on_grant_ != nullptr, "FifoQueue needs a grant sink");
+}
+
+void FifoQueue::insert(Request& req) {
+  std::lock_guard lock(mu_);
+  insert_locked(req);
+}
+
+void FifoQueue::insert_locked(Request& req) {
+  ORWL_CHECK_MSG(req.state == RequestState::Inactive,
+                 "request already queued (state "
+                     << static_cast<int>(req.state) << ")");
+  req.ticket = next_ticket_++;
+  req.state = RequestState::Requested;
+  queue_.push_back(&req);
+  advance_locked();
+}
+
+void FifoQueue::release(Request& req) {
+  std::lock_guard lock(mu_);
+  release_locked(req);
+  advance_locked();
+}
+
+void FifoQueue::release_and_renew(Request& current, Request& next) {
+  std::lock_guard lock(mu_);
+  ORWL_CHECK_MSG(&current != &next,
+                 "release_and_renew needs two distinct requests");
+  ORWL_CHECK_MSG(current.state == RequestState::Granted,
+                 "cannot renew a request that is not granted");
+  // Order matters: the renewal must take its FIFO position before the
+  // release lets any later request advance past it.
+  ORWL_CHECK_MSG(next.state == RequestState::Inactive,
+                 "renewal request already queued");
+  next.ticket = next_ticket_++;
+  next.state = RequestState::Requested;
+  queue_.push_back(&next);
+  release_locked(current);
+  advance_locked();
+}
+
+void FifoQueue::release_locked(Request& req) {
+  ORWL_CHECK_MSG(req.state == RequestState::Granted,
+                 "releasing a request that is not granted (state "
+                     << static_cast<int>(req.state) << ")");
+  const auto it = std::find(queue_.begin(), queue_.end(), &req);
+  ORWL_CHECK_MSG(it != queue_.end(), "released request not in queue");
+  queue_.erase(it);
+  req.state = RequestState::Inactive;
+}
+
+void FifoQueue::advance_locked() {
+  if (queue_.empty()) return;
+  // Grant frontier: head Write alone, or the maximal head run of Reads.
+  if (queue_.front()->mode == AccessMode::Write) {
+    Request& head = *queue_.front();
+    if (head.state == RequestState::Requested) {
+      head.state = RequestState::Granted;
+      on_grant_(head);
+    }
+    return;
+  }
+  for (Request* req : queue_) {
+    if (req->mode != AccessMode::Read) break;
+    if (req->state == RequestState::Requested) {
+      req->state = RequestState::Granted;
+      on_grant_(*req);
+    }
+  }
+}
+
+std::size_t FifoQueue::size() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+std::vector<FifoQueue::Entry> FifoQueue::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(queue_.size());
+  for (const Request* req : queue_)
+    out.push_back({req->ticket, req->mode, req->state});
+  return out;
+}
+
+}  // namespace orwl

@@ -1,0 +1,90 @@
+#pragma once
+// FifoQueue: the per-location request FIFO at the heart of the ORWL model.
+//
+// Requests are served in strict insertion order: the head of the queue is
+// granted; when the head is a Read, the maximal run of consecutive Reads
+// behind it is granted with it (shared read access); a Write is granted
+// alone (exclusive). Releasing a granted request removes it and advances
+// the grant frontier.
+//
+// Grants are *announced* through a callback so the runtime can route them
+// through control threads (the decentralized event-based design the paper
+// describes) or deliver them directly.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "orwl/fwd.h"
+
+namespace orwl {
+
+/// State of a request in its location FIFO.
+enum class RequestState : std::uint8_t {
+  Inactive,   ///< not in any queue
+  Requested,  ///< queued, not yet at the grant frontier
+  Granted,    ///< lock held; data may be accessed
+};
+
+/// One entry of a location FIFO. Owned by the issuing Handle; the queue
+/// stores non-owning pointers. Lifetime: must outlive its queue membership.
+struct Request {
+  AccessMode mode = AccessMode::Read;
+  RequestState state = RequestState::Inactive;
+  Ticket ticket = 0;       ///< insertion order stamp (per location)
+  TaskId owner = -1;       ///< task that issued the request
+  HandleId handle = -1;    ///< handle the request belongs to
+  LocationId location = -1;  ///< location whose FIFO the request is in
+  void* user = nullptr;    ///< delivery cookie (the owning Handle)
+};
+
+/// Callback invoked (with the queue lock held) for every newly granted
+/// request. Implementations must not re-enter the queue.
+using GrantSink = std::function<void(Request&)>;
+
+class FifoQueue {
+ public:
+  explicit FifoQueue(GrantSink on_grant);
+
+  FifoQueue(const FifoQueue&) = delete;
+  FifoQueue& operator=(const FifoQueue&) = delete;
+
+  /// Append a request. The request must be Inactive. May grant it (and
+  /// announce the grant) immediately when it lands in the head run.
+  void insert(Request& req);
+
+  /// Release a Granted request: remove it and advance the grant frontier,
+  /// announcing any newly granted requests. Throws ContractError if the
+  /// request is not currently granted.
+  void release(Request& req);
+
+  /// Atomically insert `next` and release `current` — the iterative ORWL
+  /// step: the renewal lands in the FIFO *before* the lock is given up, so
+  /// the cyclic per-iteration order is preserved forever.
+  void release_and_renew(Request& current, Request& next);
+
+  /// Number of queued (Requested + Granted) requests.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot of (ticket, mode, state) for tests/diagnostics.
+  struct Entry {
+    Ticket ticket;
+    AccessMode mode;
+    RequestState state;
+  };
+  [[nodiscard]] std::vector<Entry> snapshot() const;
+
+ private:
+  void insert_locked(Request& req);
+  void release_locked(Request& req);
+  void advance_locked();  // grant the head run, announce new grants
+
+  mutable std::mutex mu_;
+  std::deque<Request*> queue_;
+  Ticket next_ticket_ = 0;
+  GrantSink on_grant_;
+};
+
+}  // namespace orwl

@@ -1,0 +1,230 @@
+#include "orwl/runtime.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
+#include "support/assert.h"
+#include "support/log.h"
+#include "support/thread.h"
+#include "topo/binding.h"
+
+namespace orwl {
+
+Handle& TaskContext::handle(HandleId h) { return runtime_.handle(h); }
+
+Runtime::Runtime(RuntimeOptions opts) : opts_(opts), stats_(0) {
+  if (opts_.control == RuntimeOptions::ControlMode::SharedPool) {
+    ORWL_CHECK_MSG(opts_.shared_control_threads >= 1,
+                   "shared control pool needs at least one thread");
+    for (int i = 0; i < opts_.shared_control_threads; ++i)
+      shared_queues_.push_back(std::make_unique<EventQueue>());
+    shared_bindings_.resize(
+        static_cast<std::size_t>(opts_.shared_control_threads));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+LocationId Runtime::add_location(std::size_t bytes, std::string name) {
+  ORWL_CHECK_MSG(!ran_, "cannot add locations after run()");
+  const LocationId id = static_cast<LocationId>(locations_.size());
+  if (name.empty()) name = "loc" + std::to_string(id);
+  locations_.push_back(std::make_unique<Location>(
+      id, bytes, std::move(name),
+      [this](Request& req) { dispatch_grant(req); }));
+  return id;
+}
+
+TaskId Runtime::add_task(std::string name, TaskFn fn) {
+  ORWL_CHECK_MSG(!ran_, "cannot add tasks after run()");
+  ORWL_CHECK_MSG(fn != nullptr, "task body must be callable");
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  if (name.empty()) name = "task" + std::to_string(id);
+  TaskRec rec;
+  rec.name = std::move(name);
+  rec.fn = std::move(fn);
+  rec.events = std::make_unique<EventQueue>();
+  tasks_.push_back(std::move(rec));
+  stats_.resize(static_cast<int>(tasks_.size()));
+  return id;
+}
+
+HandleId Runtime::add_handle(TaskId task, LocationId location, AccessMode mode,
+                             bool prime) {
+  ORWL_CHECK_MSG(!ran_, "cannot add handles after run()");
+  ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
+  ORWL_CHECK_MSG(location >= 0 && location < num_locations(),
+                 "unknown location " << location);
+  const HandleId id = static_cast<HandleId>(handles_.size());
+  handles_.push_back(std::make_unique<Handle>(
+      id, task, *locations_[static_cast<std::size_t>(location)], mode));
+  if (prime) prime_order_.push_back(id);
+  return id;
+}
+
+void Runtime::set_compute_binding(TaskId task, topo::Bitmap cpuset) {
+  ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
+  tasks_[static_cast<std::size_t>(task)].compute_bind = std::move(cpuset);
+}
+
+void Runtime::set_control_binding(TaskId task, topo::Bitmap cpuset) {
+  ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
+  tasks_[static_cast<std::size_t>(task)].control_bind = std::move(cpuset);
+}
+
+void Runtime::set_shared_control_binding(int pool_index, topo::Bitmap cpuset) {
+  ORWL_CHECK_MSG(opts_.control == RuntimeOptions::ControlMode::SharedPool,
+                 "shared control bindings need ControlMode::SharedPool");
+  ORWL_CHECK_MSG(pool_index >= 0 &&
+                     pool_index < static_cast<int>(shared_bindings_.size()),
+                 "pool index " << pool_index << " out of range");
+  shared_bindings_[static_cast<std::size_t>(pool_index)] = std::move(cpuset);
+}
+
+Handle& Runtime::handle(HandleId h) {
+  ORWL_CHECK_MSG(h >= 0 && h < num_handles(), "unknown handle " << h);
+  return *handles_[static_cast<std::size_t>(h)];
+}
+
+const std::string& Runtime::task_name(TaskId t) const {
+  ORWL_CHECK_MSG(t >= 0 && t < num_tasks(), "unknown task " << t);
+  return tasks_[static_cast<std::size_t>(t)].name;
+}
+
+std::span<std::byte> Runtime::location_data(LocationId loc) {
+  ORWL_CHECK_MSG(loc >= 0 && loc < num_locations(), "unknown location " << loc);
+  return locations_[static_cast<std::size_t>(loc)]->data();
+}
+
+std::size_t Runtime::location_size(LocationId loc) const {
+  ORWL_CHECK_MSG(loc >= 0 && loc < num_locations(), "unknown location " << loc);
+  return locations_[static_cast<std::size_t>(loc)]->size();
+}
+
+void Runtime::dispatch_grant(Request& req) {
+  // Called with the location queue lock held — keep it lean.
+  stats_.record_grant(req.mode);
+  Location& loc = *locations_[static_cast<std::size_t>(req.location)];
+  if (opts_.record_flows) {
+    if (req.mode == AccessMode::Read) {
+      stats_.record_flow(loc.last_writer(), req.owner, loc.size());
+    } else {
+      // Write-after-write moves ownership of the buffer.
+      stats_.record_flow(loc.last_writer(), req.owner, loc.size());
+    }
+  }
+  if (req.mode == AccessMode::Write) loc.set_last_writer(req.owner);
+
+  switch (opts_.control) {
+    case RuntimeOptions::ControlMode::Direct:
+      static_cast<Handle*>(req.user)->deliver_grant();
+      break;
+    case RuntimeOptions::ControlMode::PerTask:
+      tasks_[static_cast<std::size_t>(req.owner)].events->post({&req});
+      break;
+    case RuntimeOptions::ControlMode::SharedPool:
+      shared_queues_[static_cast<std::size_t>(req.owner) %
+                     shared_queues_.size()]
+          ->post({&req});
+      break;
+  }
+}
+
+void Runtime::shared_control_loop(int pool_index) {
+  set_current_thread_name("ctlpool:" + std::to_string(pool_index));
+  const auto& bind = shared_bindings_[static_cast<std::size_t>(pool_index)];
+  if (bind) topo::bind_current_thread(*bind);
+  EventQueue& queue = *shared_queues_[static_cast<std::size_t>(pool_index)];
+  while (auto ev = queue.pop()) {
+    static_cast<Handle*>(ev->request->user)->deliver_grant();
+  }
+}
+
+void Runtime::control_loop(TaskId task) {
+  TaskRec& rec = tasks_[static_cast<std::size_t>(task)];
+  set_current_thread_name("ctl:" + rec.name);
+  if (rec.control_bind) topo::bind_current_thread(*rec.control_bind);
+  while (auto ev = rec.events->pop()) {
+    static_cast<Handle*>(ev->request->user)->deliver_grant();
+  }
+}
+
+void Runtime::run() {
+  ORWL_CHECK_MSG(!ran_, "Runtime::run() may only be called once");
+  ORWL_CHECK_MSG(!tasks_.empty(), "no tasks to run");
+  ran_ = true;
+
+  // Canonical priming: initial requests in registration order. This global
+  // deterministic order is what makes iterative ORWL programs live.
+  for (HandleId h : prime_order_)
+    handles_[static_cast<std::size_t>(h)]->request();
+
+  // Control threads first so primed grants get delivered.
+  std::vector<std::thread> control;
+  if (opts_.control == RuntimeOptions::ControlMode::PerTask) {
+    control.reserve(tasks_.size());
+    for (TaskId t = 0; t < num_tasks(); ++t)
+      control.emplace_back([this, t] { control_loop(t); });
+  } else if (opts_.control == RuntimeOptions::ControlMode::SharedPool) {
+    control.reserve(shared_queues_.size());
+    for (int i = 0; i < static_cast<int>(shared_queues_.size()); ++i)
+      control.emplace_back([this, i] { shared_control_loop(i); });
+  }
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> compute;
+  compute.reserve(tasks_.size());
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    compute.emplace_back([this, t, &err_mu, &first_error] {
+      TaskRec& rec = tasks_[static_cast<std::size_t>(t)];
+      set_current_thread_name(rec.name);
+      if (rec.compute_bind) topo::bind_current_thread(*rec.compute_bind);
+      TaskContext ctx(*this, t);
+      try {
+        rec.fn(ctx);
+      } catch (...) {
+        std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+
+  for (auto& th : compute) th.join();
+  for (auto& rec : tasks_) rec.events->stop();
+  for (auto& q : shared_queues_) q->stop();
+  for (auto& th : control) th.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+comm::CommMatrix Runtime::static_comm_matrix() const {
+  // "We cluster threads that share data" (paper Sec. II): every pair of
+  // tasks holding handles on the same location gets an affinity of the
+  // location's size — including reader-reader pairs, which share the
+  // buffer in cache even though no bytes flow between them.
+  comm::CommMatrix m(num_tasks());
+  for (const auto& loc : locations_) {
+    const auto bytes = static_cast<double>(loc->size());
+    if (bytes == 0.0) continue;
+    std::vector<TaskId> sharers;
+    for (const auto& h : handles_) {
+      if (h->location() != loc->id()) continue;
+      if (std::find(sharers.begin(), sharers.end(), h->task()) ==
+          sharers.end())
+        sharers.push_back(h->task());
+    }
+    for (std::size_t i = 0; i < sharers.size(); ++i)
+      for (std::size_t j = i + 1; j < sharers.size(); ++j)
+        m.add(sharers[i], sharers[j], bytes);
+  }
+  return m;
+}
+
+comm::CommMatrix Runtime::measured_comm_matrix() const {
+  return stats_.flow_matrix();
+}
+
+}  // namespace orwl

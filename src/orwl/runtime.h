@@ -1,0 +1,144 @@
+#pragma once
+// Runtime: owns locations, tasks, handles and the control threads; runs the
+// whole ORWL program. This is the decentralized event-based runtime of the
+// paper plus the binding hooks the placement module drives.
+//
+// Typical use:
+//   Runtime rt;
+//   auto data  = rt.add_location(nbytes, "block0");
+//   auto t     = rt.add_task("main0", body);
+//   auto h     = rt.add_handle(t, data, AccessMode::Write);
+//   rt.set_compute_binding(t, cpuset);        // optional (ORWL Bind)
+//   rt.run();                                 // primes FIFOs, spawns, joins
+//
+// Handle registration order defines the canonical initial FIFO insertion
+// order — the ORWL liveness discipline for iterative programs.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/comm_matrix.h"
+#include "orwl/events.h"
+#include "orwl/handle.h"
+#include "orwl/instrument.h"
+#include "orwl/location.h"
+#include "orwl/task.h"
+#include "topo/bitmap.h"
+
+namespace orwl {
+
+struct RuntimeOptions {
+  /// How lock grants reach the waiting compute thread.
+  enum class ControlMode {
+    Direct,      ///< granted in the releaser's context (no control threads)
+    PerTask,     ///< routed through the owning task's control thread
+    SharedPool,  ///< routed through a small pool of control threads
+  };
+  ControlMode control = ControlMode::PerTask;
+
+  /// Pool size for ControlMode::SharedPool. Tasks are assigned to pool
+  /// threads round-robin (task id modulo pool size).
+  int shared_control_threads = 2;
+
+  /// Record the measured communication-flow matrix (small overhead).
+  bool record_flows = true;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions opts = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- program construction (single-threaded, before run()) -------------
+
+  /// Create a location holding `bytes` bytes (zero-initialized).
+  LocationId add_location(std::size_t bytes, std::string name = {});
+
+  /// Create a task (one compute thread; one control thread in PerTask
+  /// mode).
+  TaskId add_task(std::string name, TaskFn fn);
+
+  /// Register task access to a location. When `prime` is true the runtime
+  /// inserts the first request during run() start-up, in registration
+  /// order.
+  HandleId add_handle(TaskId task, LocationId location, AccessMode mode,
+                      bool prime = true);
+
+  // --- placement hooks ---------------------------------------------------
+
+  /// Bind the task's compute thread to the given cpuset for the whole run.
+  void set_compute_binding(TaskId task, topo::Bitmap cpuset);
+  /// Bind the task's control thread (PerTask mode).
+  void set_control_binding(TaskId task, topo::Bitmap cpuset);
+  /// Bind a shared-pool control thread (SharedPool mode).
+  void set_shared_control_binding(int pool_index, topo::Bitmap cpuset);
+
+  // --- accessors ----------------------------------------------------------
+
+  [[nodiscard]] int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  [[nodiscard]] int num_locations() const {
+    return static_cast<int>(locations_.size());
+  }
+  [[nodiscard]] int num_handles() const {
+    return static_cast<int>(handles_.size());
+  }
+
+  Handle& handle(HandleId h);
+  [[nodiscard]] const std::string& task_name(TaskId t) const;
+
+  /// Direct buffer access for pre-run initialization (first touch!) and
+  /// post-run result extraction. Do not use while tasks are running.
+  std::span<std::byte> location_data(LocationId loc);
+  [[nodiscard]] std::size_t location_size(LocationId loc) const;
+
+  // --- execution ----------------------------------------------------------
+
+  /// Prime the FIFOs, spawn control + compute threads, wait for all task
+  /// bodies to return. Runs once; a second call throws. Exceptions thrown
+  /// by task bodies are rethrown here (first one wins).
+  void run();
+
+  // --- communication matrices (paper Sec. II) -----------------------------
+
+  /// Static matrix derived from handle registrations: producers (Write
+  /// handles) exchange the location size with every consumer (Read handle)
+  /// and with co-producers.
+  [[nodiscard]] comm::CommMatrix static_comm_matrix() const;
+
+  /// Measured matrix from recorded grant flows (available after run()).
+  [[nodiscard]] comm::CommMatrix measured_comm_matrix() const;
+
+  [[nodiscard]] const Instrument& stats() const { return stats_; }
+
+ private:
+  struct TaskRec {
+    std::string name;
+    TaskFn fn;
+    std::optional<topo::Bitmap> compute_bind;
+    std::optional<topo::Bitmap> control_bind;
+    std::unique_ptr<EventQueue> events;
+  };
+
+  void dispatch_grant(Request& req);  // GrantSink target
+  void control_loop(TaskId task);
+  void shared_control_loop(int pool_index);
+
+  RuntimeOptions opts_;
+  std::vector<std::unique_ptr<Location>> locations_;
+  std::vector<TaskRec> tasks_;
+  std::vector<std::unique_ptr<Handle>> handles_;
+  std::vector<HandleId> prime_order_;
+  std::vector<std::unique_ptr<EventQueue>> shared_queues_;
+  std::vector<std::optional<topo::Bitmap>> shared_bindings_;
+  Instrument stats_;
+  bool ran_ = false;
+};
+
+}  // namespace orwl

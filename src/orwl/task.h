@@ -1,0 +1,32 @@
+#pragma once
+// Task: one ORWL operation, executed by an independent compute thread.
+
+#include <functional>
+
+#include "orwl/fwd.h"
+
+namespace orwl {
+
+class Runtime;
+class Handle;
+
+/// Execution context passed to a task body.
+class TaskContext {
+ public:
+  TaskContext(Runtime& rt, TaskId id) : runtime_(rt), id_(id) {}
+
+  [[nodiscard]] Runtime& runtime() { return runtime_; }
+  [[nodiscard]] TaskId id() const { return id_; }
+
+  /// Handle lookup (must belong to this task).
+  Handle& handle(HandleId h);
+
+ private:
+  Runtime& runtime_;
+  TaskId id_;
+};
+
+/// A task body. Runs on its own thread; communicates only through handles.
+using TaskFn = std::function<void(TaskContext&)>;
+
+}  // namespace orwl

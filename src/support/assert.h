@@ -1,0 +1,55 @@
+#pragma once
+// Contract-checking macros used across the library.
+//
+// ORWL_CHECK       - always-on invariant check; throws orwl::ContractError.
+// ORWL_CHECK_MSG   - same, with a formatted explanation.
+// ORWL_DCHECK      - debug-only check (compiled out in NDEBUG builds).
+//
+// Exceptions (rather than abort) are used so that tests can exercise
+// failure-injection paths; see CppCoreGuidelines I.6/E.x.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace orwl {
+
+/// Thrown when a library precondition or invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+}  // namespace detail
+
+}  // namespace orwl
+
+#define ORWL_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::orwl::detail::contract_fail(#expr, __FILE__, __LINE__, {});   \
+  } while (0)
+
+#define ORWL_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg;                                                     \
+      ::orwl::detail::contract_fail(#expr, __FILE__, __LINE__,        \
+                                    os_.str());                       \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define ORWL_DCHECK(expr) ((void)0)
+#else
+#define ORWL_DCHECK(expr) ORWL_CHECK(expr)
+#endif

@@ -1,0 +1,28 @@
+#pragma once
+// Checked narrowing conversions (CppCoreGuidelines ES.46).
+
+#include <limits>
+#include <type_traits>
+
+#include "support/assert.h"
+
+namespace orwl {
+
+/// Convert between integer types, throwing ContractError on value change.
+template <class To, class From>
+constexpr To checked_cast(From v) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+  const To out = static_cast<To>(v);
+  ORWL_CHECK_MSG(static_cast<From>(out) == v &&
+                     ((out < To{}) == (v < From{})),
+                 "narrowing changed value " << v);
+  return out;
+}
+
+/// Signed size of a container (ES.107: avoid unsigned loop variables).
+template <class C>
+constexpr std::ptrdiff_t ssize_of(const C& c) {
+  return static_cast<std::ptrdiff_t>(c.size());
+}
+
+}  // namespace orwl

@@ -1,0 +1,53 @@
+#include "support/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace orwl::log {
+
+namespace {
+
+Level initial_level() {
+  if (const char* env = std::getenv("ORWL_LOG_LEVEL")) {
+    return parse_level(env);
+  }
+  return Level::Warn;
+}
+
+std::atomic<Level>& level_store() {
+  static std::atomic<Level> lvl{initial_level()};
+  return lvl;
+}
+
+constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+
+}  // namespace
+
+void set_level(Level lvl) noexcept { level_store().store(lvl); }
+
+Level level() noexcept { return level_store().load(std::memory_order_relaxed); }
+
+Level parse_level(std::string_view name) noexcept {
+  if (name == "trace") return Level::Trace;
+  if (name == "debug") return Level::Debug;
+  if (name == "info") return Level::Info;
+  if (name == "warn") return Level::Warn;
+  if (name == "error") return Level::Error;
+  if (name == "off") return Level::Off;
+  return Level::Info;
+}
+
+namespace detail {
+
+void emit(Level lvl, const std::string& message) {
+  static std::mutex mu;
+  const int idx = static_cast<int>(lvl);
+  if (idx < 0 || idx > 4) return;
+  std::lock_guard lock(mu);
+  std::fprintf(stderr, "[orwl %s] %s\n", kNames[idx], message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace orwl::log

@@ -1,0 +1,50 @@
+#pragma once
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage:
+//   ORWL_LOG(Info) << "mapped " << n << " threads";
+// Level is filtered by orwl::log::set_level() or the ORWL_LOG_LEVEL
+// environment variable (trace|debug|info|warn|error|off).
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace orwl::log {
+
+enum class Level : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Set the global filter level.
+void set_level(Level lvl) noexcept;
+/// Current filter level.
+Level level() noexcept;
+/// Parse a level name; returns Info on unknown names.
+Level parse_level(std::string_view name) noexcept;
+
+namespace detail {
+void emit(Level lvl, const std::string& message);
+
+class Line {
+ public:
+  explicit Line(Level lvl) : lvl_(lvl) {}
+  Line(const Line&) = delete;
+  Line& operator=(const Line&) = delete;
+  ~Line() { emit(lvl_, os_.str()); }
+  template <class T>
+  Line& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace orwl::log
+
+#define ORWL_LOG(lvl)                                            \
+  if (::orwl::log::Level::lvl < ::orwl::log::level()) {          \
+  } else                                                         \
+    ::orwl::log::detail::Line(::orwl::log::Level::lvl)

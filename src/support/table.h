@@ -1,0 +1,40 @@
+#pragma once
+// ASCII table and CSV emission for benchmark harnesses. The figure/table
+// benches print paper-style rows with this.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace orwl {
+
+/// Column-aligned ASCII table builder.
+///
+///   Table t({"cores", "OpenMP", "ORWL NoBind", "ORWL Bind"});
+///   t.add_row({"192", "55.1", "30.9", "11.0"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180-ish; cells containing commas are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision (fixed notation).
+std::string fmt(double v, int precision = 2);
+
+}  // namespace orwl

@@ -1,0 +1,26 @@
+#include "support/thread.h"
+
+#include <atomic>
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
+
+namespace orwl {
+
+void set_current_thread_name(const std::string& name) {
+#ifdef __linux__
+  std::string trimmed = name.substr(0, 15);
+  pthread_setname_np(pthread_self(), trimmed.c_str());
+#else
+  (void)name;
+#endif
+}
+
+int current_thread_index() {
+  static std::atomic<int> counter{0};
+  thread_local int idx = counter.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+}  // namespace orwl

@@ -1,0 +1,15 @@
+#pragma once
+// Thread naming and identification helpers.
+
+#include <string>
+
+namespace orwl {
+
+/// Name the calling thread (visible in debuggers / /proc). Truncated to the
+/// platform limit (15 chars on Linux). Best-effort; never fails.
+void set_current_thread_name(const std::string& name);
+
+/// Small dense id for the calling thread, assigned on first call.
+int current_thread_index();
+
+}  // namespace orwl

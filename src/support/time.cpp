@@ -1,0 +1,23 @@
+#include "support/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace orwl {
+
+std::string format_seconds(double s) {
+  char buf[64];
+  const double a = std::fabs(s);
+  if (a >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", s);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", s * 1e3);
+  } else if (a >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1f us", s * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ns", s * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace orwl

@@ -1,0 +1,39 @@
+#pragma once
+// Wall-clock timing helpers for benchmarks and the runtime.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace orwl {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds.
+  [[nodiscard]] std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Format a duration in seconds as a human-readable string ("11.3 s",
+/// "42.1 ms", "812 us").
+std::string format_seconds(double s);
+
+}  // namespace orwl

@@ -1,0 +1,54 @@
+#include "topo/binding.h"
+
+#include "support/assert.h"
+
+#ifdef __linux__
+#include <sched.h>
+#endif
+
+namespace orwl::topo {
+
+#ifdef __linux__
+
+bool bind_current_thread(const Bitmap& cpuset) {
+  ORWL_CHECK_MSG(!cpuset.empty(), "cannot bind to an empty cpuset");
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : cpuset.to_vector()) {
+    if (cpu >= CPU_SETSIZE) return false;
+    CPU_SET(cpu, &set);
+  }
+  return sched_setaffinity(0, sizeof set, &set) == 0;
+}
+
+std::optional<Bitmap> current_thread_binding() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof set, &set) != 0) return std::nullopt;
+  Bitmap b;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu)
+    if (CPU_ISSET(cpu, &set)) b.set(cpu);
+  return b;
+}
+
+#else  // non-Linux: binding is a no-op.
+
+bool bind_current_thread(const Bitmap& cpuset) {
+  ORWL_CHECK_MSG(!cpuset.empty(), "cannot bind to an empty cpuset");
+  return false;
+}
+
+std::optional<Bitmap> current_thread_binding() { return std::nullopt; }
+
+#endif
+
+ScopedBinding::ScopedBinding(const Bitmap& cpuset) {
+  previous_ = current_thread_binding();
+  bound_ = bind_current_thread(cpuset);
+}
+
+ScopedBinding::~ScopedBinding() {
+  if (bound_ && previous_) bind_current_thread(*previous_);
+}
+
+}  // namespace orwl::topo

@@ -1,0 +1,224 @@
+#include "topo/bitmap.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/assert.h"
+
+namespace orwl::topo {
+
+namespace {
+constexpr int kBits = 64;
+}
+
+Bitmap Bitmap::single(int bit) {
+  Bitmap b;
+  b.set(bit);
+  return b;
+}
+
+Bitmap Bitmap::range(int first, int last) {
+  ORWL_CHECK_MSG(first >= 0 && last >= first,
+                 "bad range " << first << "-" << last);
+  Bitmap b;
+  for (int i = first; i <= last; ++i) b.set(i);
+  return b;
+}
+
+Bitmap Bitmap::parse_list(const std::string& list) {
+  Bitmap b;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    // Skip separators and whitespace.
+    while (pos < list.size() && (list[pos] == ',' || list[pos] == ' ' ||
+                                 list[pos] == '\n' || list[pos] == '\t'))
+      ++pos;
+    if (pos >= list.size()) break;
+    std::size_t used = 0;
+    const int lo = std::stoi(list.substr(pos), &used);
+    ORWL_CHECK_MSG(lo >= 0, "negative cpu index in cpulist: " << list);
+    pos += used;
+    int hi = lo;
+    if (pos < list.size() && list[pos] == '-') {
+      ++pos;
+      hi = std::stoi(list.substr(pos), &used);
+      pos += used;
+      ORWL_CHECK_MSG(hi >= lo, "descending range in cpulist: " << list);
+    }
+    for (int i = lo; i <= hi; ++i) b.set(i);
+  }
+  return b;
+}
+
+Bitmap Bitmap::parse_hex_mask(const std::string& mask) {
+  // Split on commas; words are 32-bit chunks, most significant first.
+  std::vector<std::uint32_t> words;
+  std::string word;
+  auto flush = [&] {
+    ORWL_CHECK_MSG(!word.empty() && word.size() <= 8,
+                   "bad cpumask word '" << word << "' in '" << mask << "'");
+    std::uint32_t value = 0;
+    for (char c : word) {
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else
+        ORWL_CHECK_MSG(false, "bad hex digit '" << c << "' in cpumask '"
+                                                << mask << "'");
+      value = value * 16 + static_cast<std::uint32_t>(digit);
+    }
+    words.push_back(value);
+    word.clear();
+  };
+  for (char c : mask) {
+    if (c == ',' ) {
+      flush();
+    } else if (c == '\n' || c == ' ' || c == '\t') {
+      continue;
+    } else {
+      word.push_back(c);
+    }
+  }
+  ORWL_CHECK_MSG(!word.empty(), "empty cpumask '" << mask << "'");
+  flush();
+
+  Bitmap b;
+  // words[0] is the most significant chunk.
+  const int nwords = static_cast<int>(words.size());
+  for (int w = 0; w < nwords; ++w) {
+    const std::uint32_t chunk = words[static_cast<std::size_t>(w)];
+    const int base = (nwords - 1 - w) * 32;
+    for (int bit = 0; bit < 32; ++bit)
+      if ((chunk >> bit) & 1u) b.set(base + bit);
+  }
+  return b;
+}
+
+void Bitmap::ensure(int bit) {
+  ORWL_CHECK_MSG(bit >= 0, "negative bit index " << bit);
+  const std::size_t need = static_cast<std::size_t>(bit / kBits) + 1;
+  if (words_.size() < need) words_.resize(need, 0);
+}
+
+void Bitmap::trim() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+void Bitmap::set(int bit) {
+  ensure(bit);
+  words_[static_cast<std::size_t>(bit / kBits)] |= (1ull << (bit % kBits));
+}
+
+void Bitmap::clear(int bit) {
+  ORWL_CHECK_MSG(bit >= 0, "negative bit index " << bit);
+  const auto w = static_cast<std::size_t>(bit / kBits);
+  if (w < words_.size()) {
+    words_[w] &= ~(1ull << (bit % kBits));
+    trim();
+  }
+}
+
+bool Bitmap::test(int bit) const {
+  if (bit < 0) return false;
+  const auto w = static_cast<std::size_t>(bit / kBits);
+  return w < words_.size() && (words_[w] >> (bit % kBits)) & 1u;
+}
+
+int Bitmap::count() const {
+  int n = 0;
+  for (auto w : words_) n += std::popcount(w);
+  return n;
+}
+
+bool Bitmap::empty() const { return count() == 0; }
+
+int Bitmap::first() const { return next(-1); }
+
+int Bitmap::next(int prev) const {
+  int start = prev + 1;
+  if (start < 0) start = 0;
+  for (auto w = static_cast<std::size_t>(start / kBits); w < words_.size();
+       ++w) {
+    std::uint64_t word = words_[w];
+    if (w == static_cast<std::size_t>(start / kBits) && start % kBits != 0)
+      word &= ~((1ull << (start % kBits)) - 1);
+    if (word != 0)
+      return static_cast<int>(w) * kBits + std::countr_zero(word);
+  }
+  return -1;
+}
+
+int Bitmap::last() const {
+  for (std::size_t w = words_.size(); w-- > 0;) {
+    if (words_[w] != 0)
+      return static_cast<int>(w) * kBits + (kBits - 1) -
+             std::countl_zero(words_[w]);
+  }
+  return -1;
+}
+
+Bitmap& Bitmap::operator|=(const Bitmap& o) {
+  if (o.words_.size() > words_.size()) words_.resize(o.words_.size(), 0);
+  for (std::size_t i = 0; i < o.words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::operator&=(const Bitmap& o) {
+  const std::size_t n = std::min(words_.size(), o.words_.size());
+  words_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) words_[i] &= o.words_[i];
+  trim();
+  return *this;
+}
+
+bool Bitmap::is_subset_of(const Bitmap& o) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t other = i < o.words_.size() ? o.words_[i] : 0;
+    if ((words_[i] & ~other) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitmap::intersects(const Bitmap& o) const {
+  const std::size_t n = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if ((words_[i] & o.words_[i]) != 0) return true;
+  return false;
+}
+
+bool Bitmap::operator==(const Bitmap& o) const {
+  const std::size_t n = std::max(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = i < o.words_.size() ? o.words_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::vector<int> Bitmap::to_vector() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(count()));
+  for (int b = first(); b >= 0; b = next(b)) out.push_back(b);
+  return out;
+}
+
+std::string Bitmap::to_list_string() const {
+  std::string out;
+  int b = first();
+  while (b >= 0) {
+    int end = b;
+    while (test(end + 1)) ++end;
+    if (!out.empty()) out += ',';
+    out += std::to_string(b);
+    if (end > b) {
+      out += '-';
+      out += std::to_string(end);
+    }
+    b = next(end);
+  }
+  return out;
+}
+
+}  // namespace orwl::topo

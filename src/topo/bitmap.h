@@ -1,0 +1,71 @@
+#pragma once
+// Bitmap: a dynamically-sized CPU set, modelled after hwloc_bitmap_t.
+// Bit i represents the OS index of processing unit i.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orwl::topo {
+
+class Bitmap {
+ public:
+  /// Empty set.
+  Bitmap() = default;
+
+  /// Set containing the single index `bit`.
+  static Bitmap single(int bit);
+
+  /// Set containing [first, last] inclusive.
+  static Bitmap range(int first, int last);
+
+  /// Parse a Linux cpulist string ("0-3,8,10-11"). Throws ContractError on
+  /// malformed input.
+  static Bitmap parse_list(const std::string& list);
+
+  /// Parse a Linux hex cpumask string as found in sysfs sibling files
+  /// ("ff", "00ff00ff", "1,ffffffff" — comma-separated 32-bit words, most
+  /// significant first). Throws ContractError on malformed input.
+  static Bitmap parse_hex_mask(const std::string& mask);
+
+  void set(int bit);
+  void clear(int bit);
+  [[nodiscard]] bool test(int bit) const;
+
+  /// Number of set bits.
+  [[nodiscard]] int count() const;
+  [[nodiscard]] bool empty() const;
+
+  /// Lowest set bit, or -1 if empty.
+  [[nodiscard]] int first() const;
+  /// Lowest set bit strictly greater than `prev`, or -1.
+  [[nodiscard]] int next(int prev) const;
+  /// Highest set bit, or -1 if empty.
+  [[nodiscard]] int last() const;
+
+  /// Set union / intersection (in place).
+  Bitmap& operator|=(const Bitmap& o);
+  Bitmap& operator&=(const Bitmap& o);
+  friend Bitmap operator|(Bitmap a, const Bitmap& b) { return a |= b; }
+  friend Bitmap operator&(Bitmap a, const Bitmap& b) { return a &= b; }
+
+  /// True if every bit of this set is also in `o`.
+  [[nodiscard]] bool is_subset_of(const Bitmap& o) const;
+  /// True if the two sets share at least one bit.
+  [[nodiscard]] bool intersects(const Bitmap& o) const;
+
+  bool operator==(const Bitmap& o) const;
+
+  /// All set indices in increasing order.
+  [[nodiscard]] std::vector<int> to_vector() const;
+
+  /// Linux cpulist rendering ("0-3,8").
+  [[nodiscard]] std::string to_list_string() const;
+
+ private:
+  void ensure(int bit);
+  void trim();
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace orwl::topo

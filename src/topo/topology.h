@@ -1,0 +1,146 @@
+#pragma once
+// Topology: a portable, hwloc-style hierarchical model of a shared-memory
+// machine. The tree goes Machine → (Package | NUMANode | Cache | Core | PU);
+// leaves are always PUs (processing units, i.e. hardware threads).
+//
+// This is the substrate the paper obtains from HWLOC: the mapping algorithm
+// consumes only the tree shape (depths, arities) and the per-leaf cpusets
+// used for binding.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topo/bitmap.h"
+
+namespace orwl::topo {
+
+/// Kind of a topology object, from the root down.
+enum class ObjType {
+  Machine,   ///< whole shared-memory system (root)
+  Group,     ///< generic intermediate grouping (e.g. board)
+  Package,   ///< physical socket
+  NUMANode,  ///< memory locality domain
+  L3,        ///< shared last-level cache
+  L2,        ///< mid-level cache
+  Core,      ///< physical core
+  PU,        ///< processing unit / hardware thread (leaf)
+};
+
+/// Short lower-case name of an object type ("pack", "core", "pu", ...).
+std::string to_string(ObjType t);
+
+/// Parse a type name used in synthetic descriptions. Accepts the names
+/// produced by to_string plus common aliases ("socket", "numa", "machine").
+/// Throws ContractError on unknown names.
+ObjType parse_obj_type(const std::string& name);
+
+/// One vertex of the topology tree.
+struct Object {
+  ObjType type = ObjType::Machine;
+  int depth = 0;          ///< level in the tree; root is 0
+  int logical_index = 0;  ///< rank of this object within its level
+  int os_index = -1;      ///< OS numbering (meaningful for PUs), -1 if none
+  Object* parent = nullptr;
+  std::vector<std::unique_ptr<Object>> children;
+  Bitmap cpuset;  ///< OS indices of all PUs below (or at) this object
+
+  [[nodiscard]] bool is_leaf() const { return children.empty(); }
+  [[nodiscard]] int arity() const { return static_cast<int>(children.size()); }
+};
+
+/// An immutable topology tree plus level-wise indexes.
+///
+/// Thread-safe for concurrent reads after construction.
+class Topology {
+ public:
+  Topology(Topology&&) noexcept = default;
+  Topology& operator=(Topology&&) noexcept = default;
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Build from a synthetic description: a whitespace-separated list of
+  /// `type:count` terms, each meaning "every object of the previous level
+  /// has `count` children of `type`". The root Machine is implicit and the
+  /// last term must be `pu:N`.
+  ///
+  ///   Topology::synthetic("pack:24 core:8 pu:1")   // the paper's machine
+  ///   Topology::synthetic("pack:2 numa:2 core:8 pu:2")
+  ///
+  /// Throws ContractError on malformed specs.
+  static Topology synthetic(const std::string& spec);
+
+  /// The evaluation machine of the paper: 24 packages × 8 cores, no SMT
+  /// (192 PUs).
+  static Topology paper_machine();
+
+  /// Single-level machine with `npus` PUs directly under the root.
+  static Topology flat(int npus);
+
+  /// Detect the host machine from Linux sysfs; falls back to
+  /// flat(hardware_concurrency) when sysfs is unavailable.
+  static Topology host();
+
+  /// Deep copy (useful before destructive transforms in tests).
+  [[nodiscard]] Topology clone() const;
+
+  [[nodiscard]] const Object& root() const { return *root_; }
+
+  /// Number of levels (root level included); PUs live at depth() - 1.
+  [[nodiscard]] int depth() const { return static_cast<int>(levels_.size()); }
+
+  /// All objects at depth d, in logical order.
+  [[nodiscard]] std::span<Object* const> level(int d) const;
+
+  /// The leaves (PUs), in logical order.
+  [[nodiscard]] std::span<Object* const> pus() const;
+
+  [[nodiscard]] int num_pus() const {
+    return static_cast<int>(pus().size());
+  }
+
+  /// arities()[d] is the number of children every object at depth d has.
+  /// For irregular (detected) trees this is the maximum arity at the level.
+  [[nodiscard]] std::vector<int> arities() const;
+
+  /// True if every object at each level has the same number of children.
+  [[nodiscard]] bool is_balanced() const;
+
+  /// PU object with the given OS index, or nullptr.
+  [[nodiscard]] const Object* pu_by_os(int os_index) const;
+
+  /// Depth of the deepest common ancestor of two objects.
+  [[nodiscard]] int common_ancestor_depth(const Object& a,
+                                          const Object& b) const;
+
+  /// Hop distance between two PUs: (depth_a - dca) + (depth_b - dca).
+  /// Zero when a == b.
+  [[nodiscard]] int hop_distance(const Object& a, const Object& b) const;
+
+  /// Multi-line ASCII rendering of the tree (for logs and the explorer
+  /// example).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Graphviz "dot" rendering of the tree (lstopo-style), one node per
+  /// object labelled with type, logical index and cpuset.
+  [[nodiscard]] std::string to_dot() const;
+
+  /// Compact synthetic-style summary ("pack:24 core:8 pu:1") for balanced
+  /// trees; falls back to "irregular(<n> pus)" otherwise.
+  [[nodiscard]] std::string summary() const;
+
+  /// Assemble a topology from an externally built tree. Fills depths,
+  /// logical indices, cpusets (from leaf os_index) and level indexes.
+  /// Leaf objects must be PUs with distinct non-negative os_index.
+  static Topology from_tree(std::unique_ptr<Object> root);
+
+ private:
+  Topology() = default;
+  void index();  // populate levels_ and derived fields
+
+  std::unique_ptr<Object> root_;
+  std::vector<std::vector<Object*>> levels_;
+};
+
+}  // namespace orwl::topo

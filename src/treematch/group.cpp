@@ -1,0 +1,361 @@
+#include "treematch/group.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "support/assert.h"
+#include "support/cast.h"
+
+namespace orwl::treematch {
+
+namespace {
+
+// Sort members inside groups and order groups by first member, so results
+// are deterministic and easy to compare in tests.
+void canonicalize(Groups& groups) {
+  for (auto& g : groups) std::sort(g.begin(), g.end());
+  std::sort(groups.begin(), groups.end());
+}
+
+// Internal communication volume of one candidate group.
+double internal_volume(const comm::CommMatrix& m, const std::vector<int>& g) {
+  double sum = 0.0;
+  for (std::size_t x = 0; x < g.size(); ++x)
+    for (std::size_t y = x + 1; y < g.size(); ++y)
+      sum += m.at(g[x], g[y]);
+  return sum;
+}
+
+// Candidate-enumeration engine: all C(n, a) groups, greedy disjoint pick.
+Groups group_candidates(const comm::CommMatrix& m, int arity) {
+  const int n = m.order();
+  struct Cand {
+    double vol;
+    std::vector<int> members;
+  };
+  std::vector<Cand> cands;
+  std::vector<int> cur(static_cast<std::size_t>(arity));
+
+  // Iterative combination enumeration in lexicographic order.
+  std::iota(cur.begin(), cur.end(), 0);
+  while (true) {
+    cands.push_back({internal_volume(m, cur), cur});
+    int i = arity - 1;
+    while (i >= 0 && cur[static_cast<std::size_t>(i)] == n - arity + i) --i;
+    if (i < 0) break;
+    ++cur[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < arity; ++j)
+      cur[static_cast<std::size_t>(j)] = cur[static_cast<std::size_t>(j - 1)] + 1;
+  }
+
+  // Heaviest first; lexicographically smallest on ties (members are already
+  // sorted by construction).
+  std::stable_sort(cands.begin(), cands.end(),
+                   [](const Cand& a, const Cand& b) {
+                     if (a.vol != b.vol) return a.vol > b.vol;
+                     return a.members < b.members;
+                   });
+
+  std::vector<bool> taken(static_cast<std::size_t>(n), false);
+  Groups out;
+  for (const auto& c : cands) {
+    const bool free = std::none_of(
+        c.members.begin(), c.members.end(),
+        [&](int e) { return taken[static_cast<std::size_t>(e)]; });
+    if (!free) continue;
+    for (int e : c.members) taken[static_cast<std::size_t>(e)] = true;
+    out.push_back(c.members);
+    if (ssize_of(out) == n / arity) break;
+  }
+  ORWL_CHECK(ssize_of(out) == n / arity);
+  return out;
+}
+
+// Seeded-growth engine for large instances. Seeds are chosen by *remaining*
+// affinity — the communication an entity still has towards unassigned
+// entities. Entities whose partners were already consumed sink to the
+// bottom of the seed order, so a cluster's leftovers group among
+// themselves instead of stealing members from intact clusters (which
+// cascades mixing through the whole partition).
+Groups group_seeded(const comm::CommMatrix& m, int arity) {
+  const int n = m.order();
+  std::vector<bool> taken(static_cast<std::size_t>(n), false);
+
+  // rem[i] = sum of m(i, j) over unassigned j; updated on every
+  // assignment.
+  std::vector<double> rem(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j) rem[static_cast<std::size_t>(i)] += m.at(i, j);
+  auto consume = [&](int e) {
+    taken[static_cast<std::size_t>(e)] = true;
+    for (int i = 0; i < n; ++i)
+      if (!taken[static_cast<std::size_t>(i)])
+        rem[static_cast<std::size_t>(i)] -= m.at(i, e);
+  };
+
+  Groups out;
+  for (int g = 0; g < n / arity; ++g) {
+    int seed = -1;
+    for (int i = 0; i < n; ++i) {
+      if (taken[static_cast<std::size_t>(i)]) continue;
+      if (seed < 0 || rem[static_cast<std::size_t>(i)] >
+                          rem[static_cast<std::size_t>(seed)])
+        seed = i;
+    }
+    ORWL_CHECK(seed >= 0);
+    std::vector<int> group{seed};
+    consume(seed);
+    // Affinity of each free entity to the growing group.
+    std::vector<double> gain(static_cast<std::size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i)
+      if (!taken[static_cast<std::size_t>(i)])
+        gain[static_cast<std::size_t>(i)] = m.at(i, seed);
+    while (ssize_of(group) < arity) {
+      int best = -1;
+      for (int i = 0; i < n; ++i) {
+        if (taken[static_cast<std::size_t>(i)]) continue;
+        if (best < 0 ||
+            gain[static_cast<std::size_t>(i)] >
+                gain[static_cast<std::size_t>(best)] ||
+            (gain[static_cast<std::size_t>(i)] ==
+                 gain[static_cast<std::size_t>(best)] &&
+             rem[static_cast<std::size_t>(i)] >
+                 rem[static_cast<std::size_t>(best)]))
+          best = i;
+      }
+      ORWL_CHECK(best >= 0);
+      consume(best);
+      group.push_back(best);
+      for (int i = 0; i < n; ++i)
+        if (!taken[static_cast<std::size_t>(i)])
+          gain[static_cast<std::size_t>(i)] += m.at(i, best);
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+// One stage: group the current units into `prime`-sized clusters, picking
+// the engine by candidate count.
+Groups group_one_stage(const comm::CommMatrix& m, int prime,
+                       std::size_t candidate_limit) {
+  if (prime == 1) {
+    Groups singles;
+    for (int i = 0; i < m.order(); ++i) singles.push_back({i});
+    return singles;
+  }
+  const std::size_t cands = binomial_saturated(m.order(), prime);
+  if (cands <= candidate_limit) return group_candidates(m, prime);
+  return group_seeded(m, prime);
+}
+
+std::vector<int> prime_factors(int a) {
+  std::vector<int> f;
+  for (int p = 2; p * p <= a; ++p) {
+    while (a % p == 0) {
+      f.push_back(p);
+      a /= p;
+    }
+  }
+  if (a > 1) f.push_back(a);
+  return f;
+}
+
+}  // namespace
+
+double group_quality(const comm::CommMatrix& m, const Groups& groups) {
+  double sum = 0.0;
+  for (const auto& g : groups) sum += internal_volume(m, g);
+  return sum;
+}
+
+std::size_t binomial_saturated(int n, int a) {
+  if (a < 0 || a > n) return 0;
+  a = std::min(a, n - a);
+  std::size_t r = 1;
+  for (int i = 1; i <= a; ++i) {
+    const std::size_t num = static_cast<std::size_t>(n - a + i);
+    if (r > std::numeric_limits<std::size_t>::max() / num)
+      return std::numeric_limits<std::size_t>::max();
+    r = r * num / static_cast<std::size_t>(i);
+  }
+  return r;
+}
+
+double refine_groups(const comm::CommMatrix& m, Groups& groups,
+                     int max_sweeps) {
+  // Affinity of entity e towards group g, excluding e itself.
+  auto affinity = [&](int e, const std::vector<int>& g) {
+    double sum = 0.0;
+    for (int other : g)
+      if (other != e) sum += m.at(e, other);
+    return sum;
+  };
+
+  double improved_total = 0.0;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double best_delta = 0.0;
+    std::size_t best_ga = 0, best_gb = 0;
+    std::size_t best_ia = 0, best_ib = 0;
+    for (std::size_t ga = 0; ga < groups.size(); ++ga) {
+      for (std::size_t gb = ga + 1; gb < groups.size(); ++gb) {
+        for (std::size_t ia = 0; ia < groups[ga].size(); ++ia) {
+          const int i = groups[ga][ia];
+          const double i_in_a = affinity(i, groups[ga]);
+          const double i_in_b = affinity(i, groups[gb]);
+          for (std::size_t ib = 0; ib < groups[gb].size(); ++ib) {
+            const int j = groups[gb][ib];
+            // Swapping i and j: both lose their old group's affinity and
+            // gain the other's, minus the double-counted i-j edge.
+            const double delta = (i_in_b - m.at(i, j)) +
+                                 (affinity(j, groups[ga]) - m.at(i, j)) -
+                                 i_in_a - affinity(j, groups[gb]);
+            if (delta > best_delta + 1e-12) {
+              best_delta = delta;
+              best_ga = ga;
+              best_gb = gb;
+              best_ia = ia;
+              best_ib = ib;
+            }
+          }
+        }
+      }
+    }
+    if (best_delta <= 0.0) break;
+    std::swap(groups[best_ga][best_ia], groups[best_gb][best_ib]);
+    improved_total += best_delta;
+  }
+  canonicalize(groups);
+  return improved_total;
+}
+
+Groups group_processes(const comm::CommMatrix& m, int arity,
+                       std::size_t candidate_limit) {
+  const int n = m.order();
+  ORWL_CHECK_MSG(arity >= 1, "arity must be positive, got " << arity);
+  ORWL_CHECK_MSG(n % arity == 0,
+                 "order " << n << " not divisible by arity " << arity
+                          << "; pad the matrix first");
+  if (arity == 1) return group_one_stage(m, 1, candidate_limit);
+  if (n == arity) {
+    std::vector<int> all(static_cast<std::size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    return {all};
+  }
+
+  // Stage through the prime factorization: for arity 8, pair entities three
+  // times; each stage works on the aggregated matrix of the previous stage.
+  const std::vector<int> factors = prime_factors(arity);
+  // units[u] = original entities contained in current unit u.
+  Groups units;
+  for (int i = 0; i < n; ++i) units.push_back({i});
+  comm::CommMatrix cur = m;
+  for (int prime : factors) {
+    const Groups stage = group_one_stage(cur, prime, candidate_limit);
+    Groups merged;
+    for (const auto& g : stage) {
+      std::vector<int> members;
+      for (int unit : g) {
+        const auto& src = units[static_cast<std::size_t>(unit)];
+        members.insert(members.end(), src.begin(), src.end());
+      }
+      merged.push_back(std::move(members));
+    }
+    cur = cur.aggregated(stage);
+    units = std::move(merged);
+  }
+  canonicalize(units);
+
+  // For composite arities the staged composition can lock in early pairing
+  // mistakes; a direct single-stage grouping at the full arity sometimes
+  // wins. Compute both and keep the better under the common objective.
+  if (factors.size() > 1) {
+    Groups direct = group_one_stage(m, arity, candidate_limit);
+    canonicalize(direct);
+    if (group_quality(m, direct) > group_quality(m, units))
+      units = std::move(direct);
+  }
+  // Final polish: greedy swap refinement (bounded; monotone in quality).
+  refine_groups(m, units);
+  return units;
+}
+
+namespace {
+
+// Exhaustive search over all partitions into groups of size `arity`.
+void exact_rec(const comm::CommMatrix& m, int arity, std::vector<bool>& taken,
+               Groups& current, double vol, Groups& best, double& best_vol) {
+  const int n = m.order();
+  int first = -1;
+  for (int i = 0; i < n; ++i)
+    if (!taken[static_cast<std::size_t>(i)]) {
+      first = i;
+      break;
+    }
+  if (first < 0) {
+    if (vol > best_vol) {
+      best_vol = vol;
+      best = current;
+    }
+    return;
+  }
+  // Enumerate all (arity-1)-subsets of the remaining entities to join
+  // `first`; fixing the smallest free entity avoids counting permutations.
+  std::vector<int> free;
+  for (int i = first + 1; i < n; ++i)
+    if (!taken[static_cast<std::size_t>(i)]) free.push_back(i);
+
+  std::vector<int> pick(static_cast<std::size_t>(arity - 1));
+  std::vector<int> idx(static_cast<std::size_t>(arity - 1));
+  const int k = arity - 1;
+  if (k == 0) {
+    taken[static_cast<std::size_t>(first)] = true;
+    current.push_back({first});
+    exact_rec(m, arity, taken, current, vol, best, best_vol);
+    current.pop_back();
+    taken[static_cast<std::size_t>(first)] = false;
+    return;
+  }
+  ORWL_CHECK(ssize_of(free) >= k);
+  std::iota(idx.begin(), idx.end(), 0);
+  while (true) {
+    std::vector<int> group{first};
+    for (int x = 0; x < k; ++x)
+      group.push_back(free[static_cast<std::size_t>(
+          idx[static_cast<std::size_t>(x)])]);
+    const double add = internal_volume(m, group);
+    for (int e : group) taken[static_cast<std::size_t>(e)] = true;
+    current.push_back(group);
+    exact_rec(m, arity, taken, current, vol + add, best, best_vol);
+    current.pop_back();
+    for (int e : group) taken[static_cast<std::size_t>(e)] = false;
+
+    int i = k - 1;
+    const int fn = static_cast<int>(free.size());
+    while (i >= 0 && idx[static_cast<std::size_t>(i)] == fn - k + i) --i;
+    if (i < 0) break;
+    ++idx[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j)
+      idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+  }
+}
+
+}  // namespace
+
+Groups group_processes_exact(const comm::CommMatrix& m, int arity) {
+  const int n = m.order();
+  ORWL_CHECK_MSG(n <= 12, "exact grouping limited to order <= 12");
+  ORWL_CHECK_MSG(arity >= 1 && n % arity == 0,
+                 "order " << n << " not divisible by arity " << arity);
+  std::vector<bool> taken(static_cast<std::size_t>(n), false);
+  Groups current;
+  Groups best;
+  double best_vol = -1.0;
+  exact_rec(m, arity, taken, current, 0.0, best, best_vol);
+  canonicalize(best);
+  return best;
+}
+
+}  // namespace orwl::treematch

@@ -1,0 +1,51 @@
+#pragma once
+// GroupProcesses (Algorithm 1, line 6): partition the n entities of a
+// communication matrix into n/arity groups of exactly `arity`, maximizing
+// the communication volume kept inside groups.
+//
+// Three engines, chosen by instance size:
+//  * exact        — exhaustive partition search (tests / tiny instances),
+//  * candidate    — enumerate all C(n, a) groups, sort by internal volume,
+//                   greedily select disjoint ones (the TreeMatch approach),
+//  * seeded       — for large instances: grow each group greedily from the
+//                   heaviest unassigned entity.
+// group_processes() additionally factorizes composite arities into prime
+// stages (group into pairs three times for arity 8), which both bounds the
+// candidate count and improves quality (TreeMatch "arity division").
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/comm_matrix.h"
+
+namespace orwl::treematch {
+
+using Groups = std::vector<std::vector<int>>;
+
+/// Sum over groups of the intra-group communication volume. The objective
+/// GroupProcesses maximizes.
+double group_quality(const comm::CommMatrix& m, const Groups& groups);
+
+/// Partition 0..m.order()-1 into groups of size `arity`.
+/// Requires m.order() % arity == 0 (pad the matrix first).
+/// `candidate_limit` bounds the candidate-enumeration engine; above it the
+/// seeded engine is used. Deterministic: ties break towards smaller indices;
+/// each group is sorted and groups are ordered by first member.
+Groups group_processes(const comm::CommMatrix& m, int arity,
+                       std::size_t candidate_limit = 50000);
+
+/// Exhaustive optimum (exponential; requires m.order() <= 12). For tests.
+Groups group_processes_exact(const comm::CommMatrix& m, int arity);
+
+/// Local-search refinement: greedily apply the best entity swap between
+/// two groups while it increases group_quality, up to `max_sweeps` passes.
+/// Returns the total quality improvement (>= 0). Deterministic; group
+/// canonical order is restored before returning. Called by
+/// group_processes() as a final polish.
+double refine_groups(const comm::CommMatrix& m, Groups& groups,
+                     int max_sweeps = 3);
+
+/// Number of `a`-subsets of `n` elements, saturating at SIZE_MAX.
+std::size_t binomial_saturated(int n, int a);
+
+}  // namespace orwl::treematch

@@ -1,0 +1,250 @@
+#include "treematch/treematch.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "support/assert.h"
+#include "support/cast.h"
+#include "support/log.h"
+
+namespace orwl::treematch {
+
+const char* to_string(ControlStrategy s) {
+  switch (s) {
+    case ControlStrategy::Auto: return "auto";
+    case ControlStrategy::Hyperthread: return "hyperthread";
+    case ControlStrategy::SpareCores: return "spare-cores";
+    case ControlStrategy::Unmanaged: return "unmanaged";
+  }
+  return "?";
+}
+
+namespace {
+
+// A node of the group hierarchy built bottom-up. `width` is the number of
+// working-leaf slots the node covers; `threads` lists the real thread ids
+// inside (empty for padding).
+struct HNode {
+  int thread = -1;  // >= 0 for initial (single-thread) entities
+  long width = 1;
+  std::vector<int> threads;
+  std::vector<HNode> kids;
+};
+
+long product(const std::vector<int>& v) {
+  long p = 1;
+  for (int a : v) p *= a;
+  return p;
+}
+
+// True when the topology supports the hyperthread strategy: PUs grouped in
+// cores of >= 2 (so one PU per core can be reserved for control threads).
+bool hyperthread_fits(const topo::Topology& topo) {
+  if (topo.depth() < 3) return false;  // need machine / core / pu at least
+  const auto cores = topo.level(topo.depth() - 2);
+  for (const topo::Object* core : cores)
+    if (core->arity() < 2) return false;
+  return true;
+}
+
+// Line 1 of Algorithm 1: extend m with one control thread per computation
+// thread. Control thread i becomes entity p + i. Its affinity is dominated
+// by its own computation thread (full row volume) and scaled-down copies of
+// that thread's edges (it relays lock traffic with the same peers).
+comm::CommMatrix extend_for_control(const comm::CommMatrix& m,
+                                    double peer_factor) {
+  const int p = m.order();
+  comm::CommMatrix out = m.padded(p);
+  for (int i = 0; i < p; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < p; ++j)
+      if (j != i) row += m.at(i, j);
+    out.set(p + i, i, row > 0.0 ? row : 1.0);
+    for (int j = 0; j < p; ++j)
+      if (j != i && m.at(i, j) > 0.0)
+        out.set(p + i, j, peer_factor * m.at(i, j));
+  }
+  return out;
+}
+
+// Collect real thread ids under `node` into the slot array starting at
+// `offset`. Slots are working-tree leaves in DFS (= logical) order.
+void flatten(const HNode& node, long offset, std::vector<int>& slots) {
+  if (node.kids.empty()) {
+    if (node.thread >= 0) {
+      ORWL_CHECK(node.width == 1);
+      slots[static_cast<std::size_t>(offset)] = node.thread;
+    }
+    return;
+  }
+  long off = offset;
+  for (const HNode& kid : node.kids) {
+    flatten(kid, off, slots);
+    off += kid.width;
+  }
+}
+
+}  // namespace
+
+Result map_threads(const topo::Topology& topo, const comm::CommMatrix& m,
+                   const Options& opts) {
+  const int p = m.order();
+  ORWL_CHECK_MSG(p >= 1, "empty communication matrix");
+  ORWL_CHECK_MSG(topo.num_pus() >= 1, "topology has no PUs");
+
+  // TreeMatch operates on balanced trees. Detected irregular machines fall
+  // back to a flat view (mapping still valid, hierarchy unused).
+  std::vector<int> arities;
+  bool flat_fallback = false;
+  if (topo.is_balanced()) {
+    arities = topo.arities();
+  } else {
+    ORWL_LOG(Warn) << "unbalanced topology: TreeMatch falls back to a flat "
+                      "single-level view";
+    arities = {topo.num_pus()};
+    flat_fallback = true;
+  }
+
+  const long num_leaves = product(arities);
+  ORWL_CHECK(flat_fallback || num_leaves == topo.num_pus());
+
+  // --- Line 1: control-thread strategy selection + matrix extension. ----
+  ControlStrategy strategy = opts.control;
+  if (!opts.manage_control_threads) strategy = ControlStrategy::Unmanaged;
+  const bool ht_ok = !flat_fallback && hyperthread_fits(topo);
+  const bool spare_ok = num_leaves >= 2L * p;
+  if (strategy == ControlStrategy::Auto) {
+    strategy = ht_ok        ? ControlStrategy::Hyperthread
+               : spare_ok   ? ControlStrategy::SpareCores
+                            : ControlStrategy::Unmanaged;
+  } else if (strategy == ControlStrategy::Hyperthread) {
+    ORWL_CHECK_MSG(ht_ok,
+                   "hyperthread strategy requested but cores do not have "
+                   ">= 2 PUs each");
+  } else if (strategy == ControlStrategy::SpareCores) {
+    ORWL_CHECK_MSG(spare_ok, "spare-cores strategy requested but "
+                                 << num_leaves << " PUs < 2 x " << p
+                                 << " threads");
+  }
+
+  // Working tree/matrix depend on the strategy.
+  std::vector<int> work_arities = arities;
+  int smt = 1;  // PUs per core consumed by the hyperthread strategy
+  comm::CommMatrix work = m;
+  if (strategy == ControlStrategy::Hyperthread) {
+    smt = work_arities.back();
+    work_arities.pop_back();  // leaves of the working tree are cores
+  } else if (strategy == ControlStrategy::SpareCores) {
+    work = extend_for_control(m, opts.control_peer_factor);
+  }
+  if (work_arities.empty()) work_arities = {1};
+  const long work_leaves = product(work_arities);
+
+  // --- Line 2: manage oversubscription. ---------------------------------
+  Result res;
+  res.control_used = strategy;
+  const int q = work.order();
+  if (q > work_leaves) {
+    ORWL_CHECK_MSG(opts.allow_oversubscription,
+                   q << " threads exceed " << work_leaves
+                     << " computing resources and oversubscription is "
+                        "disabled");
+    const int k =
+        static_cast<int>((q + work_leaves - 1) / work_leaves);
+    work_arities.push_back(k);
+    res.oversubscribed = true;
+    res.threads_per_leaf = k;
+  }
+
+  // --- Lines 3..7: bottom-up grouping. -----------------------------------
+  std::vector<HNode> entities;
+  entities.reserve(static_cast<std::size_t>(q));
+  for (int t = 0; t < q; ++t) {
+    HNode n;
+    n.thread = t;
+    n.threads = {t};
+    entities.push_back(std::move(n));
+  }
+  comm::CommMatrix cur = work;
+
+  for (std::size_t level = work_arities.size(); level-- > 0;) {
+    const int a = work_arities[level];
+    // Pad entities (and the matrix) to a multiple of the arity.
+    const long width = entities.empty() ? 1 : entities.front().width;
+    while (ssize_of(entities) % a != 0) {
+      HNode pad;
+      pad.width = width;
+      entities.push_back(std::move(pad));
+    }
+    if (cur.order() < ssize_of(entities))
+      cur = cur.padded(static_cast<int>(ssize_of(entities)) - cur.order());
+
+    Groups groups = group_processes(cur, a, opts.candidate_limit);
+
+    // Merge entities according to the groups.
+    std::vector<HNode> next;
+    Groups thread_groups;
+    next.reserve(groups.size());
+    for (const auto& g : groups) {
+      HNode parent;
+      parent.width = 0;
+      for (int member : g) {
+        HNode& child = entities[static_cast<std::size_t>(member)];
+        parent.width += child.width;
+        parent.threads.insert(parent.threads.end(), child.threads.begin(),
+                              child.threads.end());
+        parent.kids.push_back(std::move(child));
+      }
+      thread_groups.push_back(parent.threads);
+      next.push_back(std::move(parent));
+    }
+    res.level_groups.push_back(std::move(thread_groups));
+    cur = cur.aggregated(groups);
+    entities = std::move(next);
+  }
+
+  // --- Line 8: MapGroups — flatten the hierarchy onto the leaves. --------
+  const long total_slots = product(work_arities);
+  std::vector<int> slots(static_cast<std::size_t>(total_slots), -1);
+  {
+    long off = 0;
+    for (const HNode& top : entities) {
+      flatten(top, off, slots);
+      off += top.width;
+    }
+    ORWL_CHECK(off <= total_slots);
+  }
+
+  // Translate slots into per-thread PU indices.
+  const int k = res.threads_per_leaf;
+  res.compute_pu.assign(static_cast<std::size_t>(p), -1);
+  res.control_pu.assign(static_cast<std::size_t>(p), -1);
+  for (long s = 0; s < total_slots; ++s) {
+    const int id = slots[static_cast<std::size_t>(s)];
+    if (id < 0) continue;
+    const long work_leaf = s / k;
+    int compute = -1;
+    int control = -1;
+    if (strategy == ControlStrategy::Hyperthread) {
+      compute = static_cast<int>(work_leaf * smt);
+      control = static_cast<int>(work_leaf * smt + 1);
+    } else {
+      compute = static_cast<int>(work_leaf);
+    }
+    if (id < p) {
+      res.compute_pu[static_cast<std::size_t>(id)] = compute;
+      if (control >= 0) res.control_pu[static_cast<std::size_t>(id)] = control;
+    } else {
+      // SpareCores: entity p + i is the control thread of thread i.
+      res.control_pu[static_cast<std::size_t>(id - p)] = compute;
+    }
+  }
+
+  for (int t = 0; t < p; ++t)
+    ORWL_CHECK_MSG(res.compute_pu[static_cast<std::size_t>(t)] >= 0,
+                   "thread " << t << " was not mapped");
+  return res;
+}
+
+}  // namespace orwl::treematch

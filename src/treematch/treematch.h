@@ -1,0 +1,73 @@
+#pragma once
+// Algorithm 1 of the paper: the TreeMatch-based mapping algorithm, extended
+// with (a) oversubscription and (b) ORWL control-thread management.
+//
+//   Input:  T (topology tree), m (communication matrix), D (tree depth)
+//   1  m <- extend_to_manage_control_threads(m)
+//   2  T <- manage_oversubscription(T, m)
+//   3  groups[1..D-1] = {}
+//   4  foreach depth <- D-1 .. 1:           // from the leaves
+//   5      p <- order of m
+//   6      groups[depth] <- GroupProcesses(T, m, depth)
+//   7      m <- AggregateComMatrix(m, groups[depth])
+//   8  MapGroups(T, groups)
+//
+// map_threads() runs the whole pipeline and returns, for every thread of
+// the input matrix, the logical PU index for its computation thread and
+// (when managed) its control thread.
+
+#include <vector>
+
+#include "comm/comm_matrix.h"
+#include "comm/metrics.h"
+#include "topo/topology.h"
+#include "treematch/group.h"
+
+namespace orwl::treematch {
+
+/// How ORWL control threads are handled (paper Sec. II):
+///  * Hyperthread — on each core reserve one PU for control, one for compute;
+///  * SpareCores  — extend the matrix so control threads map to spare cores;
+///  * Unmanaged   — leave control threads to the OS scheduler;
+///  * Auto        — first strategy that fits, in the order above.
+enum class ControlStrategy { Auto, Hyperthread, SpareCores, Unmanaged };
+
+const char* to_string(ControlStrategy s);
+
+struct Options {
+  ControlStrategy control = ControlStrategy::Auto;
+  /// Disable the control-thread extension entirely (ablation baseline).
+  bool manage_control_threads = true;
+  /// Allow adding a virtual topology level when threads > PUs.
+  bool allow_oversubscription = true;
+  /// Candidate count bound for the exact-ish grouping engine.
+  std::size_t candidate_limit = 50000;
+  /// Weight of ctrl_i <-> comp_j edges relative to m(i, j) when extending
+  /// the matrix for SpareCores; ctrl_i <-> comp_i gets the full row volume.
+  double control_peer_factor = 0.25;
+};
+
+struct Result {
+  /// compute_pu[t]: logical PU index (into topo.pus()) of thread t.
+  comm::Mapping compute_pu;
+  /// control_pu[t]: logical PU index of thread t's control thread, or -1
+  /// when unmanaged.
+  comm::Mapping control_pu;
+  /// Strategy actually applied.
+  ControlStrategy control_used = ControlStrategy::Unmanaged;
+  /// True when a virtual level was added (threads share PUs).
+  bool oversubscribed = false;
+  /// Maximum computation threads mapped to one PU (1 unless oversubscribed).
+  int threads_per_leaf = 1;
+  /// Diagnostics: thread-id membership of the groups formed at each
+  /// processed level, bottom-up.
+  std::vector<Groups> level_groups;
+};
+
+/// Run Algorithm 1. `m.order()` is the number of computation threads.
+/// Throws ContractError when an explicitly requested strategy does not fit
+/// the topology, or when oversubscription is needed but disallowed.
+Result map_threads(const topo::Topology& topo, const comm::CommMatrix& m,
+                   const Options& opts = {});
+
+}  // namespace orwl::treematch

@@ -1,0 +1,188 @@
+// Unit tests for topo::Bitmap (the cpuset abstraction).
+
+#include <gtest/gtest.h>
+
+#include "support/assert.h"
+#include "topo/bitmap.h"
+
+namespace orwl::topo {
+namespace {
+
+TEST(Bitmap, StartsEmpty) {
+  Bitmap b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0);
+  EXPECT_EQ(b.first(), -1);
+  EXPECT_EQ(b.last(), -1);
+}
+
+TEST(Bitmap, SetAndTest) {
+  Bitmap b;
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(200);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(200));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_FALSE(b.test(199));
+  EXPECT_EQ(b.count(), 4);
+}
+
+TEST(Bitmap, TestOutOfRangeIsFalse) {
+  Bitmap b = Bitmap::single(3);
+  EXPECT_FALSE(b.test(1000));
+  EXPECT_FALSE(b.test(-1));
+}
+
+TEST(Bitmap, ClearRemovesBit) {
+  Bitmap b = Bitmap::range(0, 10);
+  b.clear(5);
+  EXPECT_FALSE(b.test(5));
+  EXPECT_EQ(b.count(), 10);
+}
+
+TEST(Bitmap, FirstNextLastIterate) {
+  Bitmap b;
+  b.set(2);
+  b.set(66);
+  b.set(130);
+  EXPECT_EQ(b.first(), 2);
+  EXPECT_EQ(b.next(2), 66);
+  EXPECT_EQ(b.next(66), 130);
+  EXPECT_EQ(b.next(130), -1);
+  EXPECT_EQ(b.last(), 130);
+}
+
+TEST(Bitmap, RangeInclusive) {
+  Bitmap b = Bitmap::range(3, 7);
+  EXPECT_EQ(b.count(), 5);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_TRUE(b.test(7));
+  EXPECT_FALSE(b.test(2));
+  EXPECT_FALSE(b.test(8));
+}
+
+TEST(Bitmap, RangeRejectsDescending) {
+  EXPECT_THROW(Bitmap::range(5, 3), ContractError);
+  EXPECT_THROW(Bitmap::range(-1, 3), ContractError);
+}
+
+TEST(Bitmap, UnionAndIntersection) {
+  Bitmap a = Bitmap::range(0, 5);
+  Bitmap b = Bitmap::range(4, 9);
+  const Bitmap u = a | b;
+  const Bitmap i = a & b;
+  EXPECT_EQ(u.count(), 10);
+  EXPECT_EQ(i.count(), 2);
+  EXPECT_TRUE(i.test(4));
+  EXPECT_TRUE(i.test(5));
+}
+
+TEST(Bitmap, SubsetAndIntersects) {
+  Bitmap a = Bitmap::range(2, 4);
+  Bitmap big = Bitmap::range(0, 10);
+  EXPECT_TRUE(a.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(big));
+  EXPECT_FALSE(a.intersects(Bitmap::range(5, 9)));
+  EXPECT_TRUE(Bitmap().is_subset_of(a));
+}
+
+TEST(Bitmap, EqualityIgnoresTrailingZeros) {
+  Bitmap a = Bitmap::single(3);
+  Bitmap b = Bitmap::single(3);
+  b.set(300);
+  b.clear(300);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bitmap, ToVectorSorted) {
+  Bitmap b;
+  b.set(9);
+  b.set(1);
+  b.set(128);
+  const std::vector<int> v = b.to_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 9);
+  EXPECT_EQ(v[2], 128);
+}
+
+TEST(Bitmap, ListStringRoundTrip) {
+  Bitmap b;
+  b.set(0);
+  b.set(1);
+  b.set(2);
+  b.set(8);
+  b.set(10);
+  b.set(11);
+  EXPECT_EQ(b.to_list_string(), "0-2,8,10-11");
+  EXPECT_EQ(Bitmap::parse_list("0-2,8,10-11"), b);
+}
+
+TEST(Bitmap, ParseSingletons) {
+  const Bitmap b = Bitmap::parse_list("5");
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_TRUE(b.test(5));
+}
+
+TEST(Bitmap, ParseWithWhitespace) {
+  const Bitmap b = Bitmap::parse_list(" 1, 3-4\n");
+  EXPECT_EQ(b.to_list_string(), "1,3-4");
+}
+
+TEST(Bitmap, ParseEmptyIsEmpty) {
+  EXPECT_TRUE(Bitmap::parse_list("").empty());
+}
+
+TEST(Bitmap, ParseRejectsGarbage) {
+  EXPECT_THROW(Bitmap::parse_list("abc"), std::exception);
+  EXPECT_THROW(Bitmap::parse_list("5-2"), ContractError);
+}
+
+TEST(Bitmap, ParseHexMaskSimple) {
+  const Bitmap b = Bitmap::parse_hex_mask("ff");
+  EXPECT_EQ(b.to_list_string(), "0-7");
+}
+
+TEST(Bitmap, ParseHexMaskMultiWord) {
+  // Words are 32-bit, most significant first: "1,00000000" = bit 32.
+  const Bitmap b = Bitmap::parse_hex_mask("1,00000000");
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_TRUE(b.test(32));
+}
+
+TEST(Bitmap, ParseHexMaskMixedCaseAndNewline) {
+  const Bitmap b = Bitmap::parse_hex_mask("F0\n");
+  EXPECT_EQ(b.to_list_string(), "4-7");
+  EXPECT_EQ(Bitmap::parse_hex_mask("f0"), b);
+}
+
+TEST(Bitmap, ParseHexMaskSparse) {
+  const Bitmap b = Bitmap::parse_hex_mask("00ff00ff");
+  EXPECT_EQ(b.to_list_string(), "0-7,16-23");
+}
+
+TEST(Bitmap, ParseHexMaskRejectsGarbage) {
+  EXPECT_THROW(Bitmap::parse_hex_mask(""), ContractError);
+  EXPECT_THROW(Bitmap::parse_hex_mask("zz"), ContractError);
+  EXPECT_THROW(Bitmap::parse_hex_mask("123456789"), ContractError);
+  EXPECT_THROW(Bitmap::parse_hex_mask("ff,,ff"), ContractError);
+}
+
+TEST(Bitmap, SingleFactory) {
+  const Bitmap b = Bitmap::single(77);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_EQ(b.first(), 77);
+}
+
+TEST(Bitmap, NegativeBitRejected) {
+  Bitmap b;
+  EXPECT_THROW(b.set(-1), ContractError);
+}
+
+}  // namespace
+}  // namespace orwl::topo

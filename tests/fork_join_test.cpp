@@ -1,0 +1,153 @@
+// Unit tests for the OpenMP-equivalent ForkJoinPool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "baselines/fork_join.h"
+#include "support/assert.h"
+
+namespace orwl::baselines {
+namespace {
+
+TEST(StaticChunk, CoversRangeExactly) {
+  for (long n : {0L, 1L, 7L, 64L, 100L}) {
+    for (int ranks : {1, 2, 3, 8}) {
+      long covered = 0;
+      long prev_end = 0;
+      for (int r = 0; r < ranks; ++r) {
+        const auto [b, e] = ForkJoinPool::static_chunk(n, r, ranks);
+        EXPECT_EQ(b, prev_end) << "chunks must be contiguous";
+        EXPECT_LE(b, e);
+        covered += e - b;
+        prev_end = e;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(StaticChunk, BalancedWithinOne) {
+  for (int ranks : {3, 7}) {
+    long min_len = 1L << 40, max_len = 0;
+    for (int r = 0; r < ranks; ++r) {
+      const auto [b, e] = ForkJoinPool::static_chunk(100, r, ranks);
+      min_len = std::min(min_len, e - b);
+      max_len = std::max(max_len, e - b);
+    }
+    EXPECT_LE(max_len - min_len, 1);
+  }
+}
+
+TEST(StaticChunk, RejectsBadRank) {
+  EXPECT_THROW(ForkJoinPool::static_chunk(10, 3, 3), ContractError);
+  EXPECT_THROW(ForkJoinPool::static_chunk(10, -1, 3), ContractError);
+}
+
+TEST(ForkJoin, SingleThreadWorks) {
+  ForkJoinPool pool(1);
+  std::vector<int> data(100, 0);
+  pool.parallel_for_each(0, 100, [&](long i) {
+    data[static_cast<std::size_t>(i)] = static_cast<int>(i);
+  });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ForkJoin, AllIndicesVisitedOnce) {
+  ForkJoinPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_each(0, 1000, [&](long i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ForkJoin, EmptyRangeIsNoop) {
+  ForkJoinPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for_each(5, 5, [&](long) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ForkJoin, RangeSmallerThanPool) {
+  ForkJoinPool pool(8);
+  std::atomic<long> sum{0};
+  pool.parallel_for_each(0, 3, [&](long i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ForkJoin, ReverseRangeRejected) {
+  ForkJoinPool pool(2);
+  EXPECT_THROW(pool.parallel_for(5, 4, [](long, long) {}), ContractError);
+}
+
+TEST(ForkJoin, ImplicitBarrierBetweenCalls) {
+  // Phase 2 must observe all of phase 1's writes.
+  ForkJoinPool pool(6);
+  std::vector<long> a(600, 0), b(600, 0);
+  pool.parallel_for_each(0, 600, [&](long i) {
+    a[static_cast<std::size_t>(i)] = i + 1;
+  });
+  pool.parallel_for_each(0, 600, [&](long i) {
+    b[static_cast<std::size_t>(i)] =
+        a[static_cast<std::size_t>(599 - i)];  // cross-chunk read
+  });
+  for (long i = 0; i < 600; ++i)
+    EXPECT_EQ(b[static_cast<std::size_t>(i)], 600 - i);
+}
+
+TEST(ForkJoin, ManyIterationsStress) {
+  ForkJoinPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round)
+    pool.parallel_for_each(0, 40, [&](long) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 200 * 40);
+}
+
+TEST(ForkJoin, ExceptionPropagates) {
+  ForkJoinPool pool(4);
+  EXPECT_THROW(pool.parallel_for_each(
+                   0, 100,
+                   [&](long i) {
+                     if (i == 37) throw std::runtime_error("worker failed");
+                   }),
+               std::runtime_error);
+  // The pool must remain usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for_each(0, 10, [&](long) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ForkJoin, ChunkedBodySeesWholeChunks) {
+  ForkJoinPool pool(3);
+  std::atomic<long> covered{0};
+  pool.parallel_for(0, 100, [&](long b, long e) {
+    EXPECT_LT(b, e);
+    covered.fetch_add(e - b);
+  });
+  EXPECT_EQ(covered.load(), 100);
+}
+
+TEST(ForkJoin, RejectsZeroThreads) {
+  EXPECT_THROW(ForkJoinPool(0), ContractError);
+}
+
+TEST(ForkJoin, CpusetListSizeChecked) {
+  std::vector<std::optional<topo::Bitmap>> sets(3);
+  EXPECT_THROW(ForkJoinPool(2, sets), ContractError);
+}
+
+TEST(ForkJoin, BoundWorkersStillCorrect) {
+  std::vector<std::optional<topo::Bitmap>> sets(4);
+  for (auto& s : sets) s = topo::Bitmap::single(0);  // all on CPU 0
+  ForkJoinPool pool(4, sets);
+  std::atomic<long> sum{0};
+  pool.parallel_for_each(0, 100, [&](long i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+}  // namespace
+}  // namespace orwl::baselines

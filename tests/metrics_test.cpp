@@ -1,0 +1,93 @@
+// Unit tests for locality metrics (hop-bytes, weighted cost, locality
+// fraction, mapping validation).
+
+#include <gtest/gtest.h>
+
+#include "comm/metrics.h"
+#include "support/assert.h"
+#include "topo/topology.h"
+
+namespace orwl::comm {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest() : topo_(topo::Topology::synthetic("pack:2 core:2 pu:1")) {}
+  topo::Topology topo_;  // 4 PUs: {0,1} in pack0, {2,3} in pack1
+};
+
+TEST_F(MetricsTest, HopBytesZeroWhenColocatedPairsOnly) {
+  CommMatrix m(2);
+  m.set(0, 1, 10.0);
+  // Same PU is impossible for distinct threads (1 thread per PU here);
+  // neighbouring PUs in one pack give hops = 4.
+  EXPECT_EQ(hop_bytes(topo_, m, {0, 1}), 40.0);
+}
+
+TEST_F(MetricsTest, HopBytesScalesWithDistance) {
+  CommMatrix m(2);
+  m.set(0, 1, 10.0);
+  const double near = hop_bytes(topo_, m, {0, 1});   // same pack
+  const double far = hop_bytes(topo_, m, {0, 2});    // cross pack
+  EXPECT_LT(near, far);
+  EXPECT_EQ(far, 60.0);  // 6 hops * 10 bytes
+}
+
+TEST_F(MetricsTest, UnmappedThreadsSkipped) {
+  CommMatrix m(3);
+  m.set(0, 1, 10.0);
+  m.set(0, 2, 99.0);
+  EXPECT_EQ(hop_bytes(topo_, m, {0, 1, -1}), 40.0);
+}
+
+TEST_F(MetricsTest, WeightedCostUsesLevelTable) {
+  CommMatrix m(2);
+  m.set(0, 1, 2.0);
+  // level_cost indexed by dca depth: machine=10, pack=3, core=1, pu=0.
+  const std::vector<double> cost{10.0, 3.0, 1.0, 0.0};
+  EXPECT_EQ(weighted_cost(topo_, m, {0, 1}, cost), 2.0 * 3.0);
+  EXPECT_EQ(weighted_cost(topo_, m, {0, 2}, cost), 2.0 * 10.0);
+}
+
+TEST_F(MetricsTest, WeightedCostRejectsShortTable) {
+  CommMatrix m(2);
+  m.set(0, 1, 1.0);
+  EXPECT_THROW(weighted_cost(topo_, m, {0, 1}, {1.0}), ContractError);
+}
+
+TEST_F(MetricsTest, LocalityFraction) {
+  CommMatrix m(3);
+  m.set(0, 1, 30.0);  // same pack when mapped 0,1
+  m.set(0, 2, 10.0);  // cross pack when mapped 0,2
+  const Mapping map{0, 1, 2};
+  // Fraction of volume kept within a package (dca depth >= 1).
+  EXPECT_DOUBLE_EQ(locality_fraction(topo_, m, map, 1), 0.75);
+  // Everything is within the machine.
+  EXPECT_DOUBLE_EQ(locality_fraction(topo_, m, map, 0), 1.0);
+}
+
+TEST_F(MetricsTest, LocalityFractionEmptyMatrixIsOne) {
+  CommMatrix m(2);
+  EXPECT_DOUBLE_EQ(locality_fraction(topo_, m, {0, 1}, 1), 1.0);
+}
+
+TEST_F(MetricsTest, ValidateAcceptsPartialMapping) {
+  EXPECT_NO_THROW(validate_mapping(topo_, {0, -1, 3}));
+}
+
+TEST_F(MetricsTest, ValidateRejectsOutOfRangePu) {
+  EXPECT_THROW(validate_mapping(topo_, {0, 4}), ContractError);
+}
+
+TEST_F(MetricsTest, ValidateRejectsOversubscription) {
+  EXPECT_THROW(validate_mapping(topo_, {2, 2}), ContractError);
+  EXPECT_NO_THROW(validate_mapping(topo_, {2, 2}, 2));
+}
+
+TEST_F(MetricsTest, MappingShorterThanMatrixRejected) {
+  CommMatrix m(3);
+  EXPECT_THROW(hop_bytes(topo_, m, {0, 1}), ContractError);
+}
+
+}  // namespace
+}  // namespace orwl::comm

@@ -1,0 +1,215 @@
+// Unit tests for the ORWL FifoQueue: strict insertion order, shared reads,
+// exclusive writes, renewal semantics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "orwl/queue.h"
+#include "support/assert.h"
+
+namespace orwl {
+namespace {
+
+class QueueTest : public ::testing::Test {
+ protected:
+  QueueTest()
+      : queue_([this](Request& r) { granted_.push_back(&r); }) {}
+
+  Request make(AccessMode mode) {
+    Request r;
+    r.mode = mode;
+    return r;
+  }
+
+  FifoQueue queue_;
+  std::vector<Request*> granted_;
+};
+
+TEST_F(QueueTest, FirstRequestGrantedImmediately) {
+  Request w = make(AccessMode::Write);
+  queue_.insert(w);
+  EXPECT_EQ(w.state, RequestState::Granted);
+  ASSERT_EQ(granted_.size(), 1u);
+  EXPECT_EQ(granted_[0], &w);
+}
+
+TEST_F(QueueTest, WriteIsExclusive) {
+  Request w1 = make(AccessMode::Write);
+  Request w2 = make(AccessMode::Write);
+  Request r1 = make(AccessMode::Read);
+  queue_.insert(w1);
+  queue_.insert(w2);
+  queue_.insert(r1);
+  EXPECT_EQ(w1.state, RequestState::Granted);
+  EXPECT_EQ(w2.state, RequestState::Requested);
+  EXPECT_EQ(r1.state, RequestState::Requested);
+}
+
+TEST_F(QueueTest, ConsecutiveReadsShareTheGrant) {
+  Request r1 = make(AccessMode::Read);
+  Request r2 = make(AccessMode::Read);
+  Request r3 = make(AccessMode::Read);
+  queue_.insert(r1);
+  queue_.insert(r2);
+  queue_.insert(r3);
+  EXPECT_EQ(r1.state, RequestState::Granted);
+  EXPECT_EQ(r2.state, RequestState::Granted);
+  EXPECT_EQ(r3.state, RequestState::Granted);
+  EXPECT_EQ(granted_.size(), 3u);
+}
+
+TEST_F(QueueTest, ReadRunStopsAtWrite) {
+  Request r1 = make(AccessMode::Read);
+  Request w = make(AccessMode::Write);
+  Request r2 = make(AccessMode::Read);
+  queue_.insert(r1);
+  queue_.insert(w);
+  queue_.insert(r2);
+  EXPECT_EQ(r1.state, RequestState::Granted);
+  EXPECT_EQ(w.state, RequestState::Requested);
+  EXPECT_EQ(r2.state, RequestState::Requested)
+      << "a read behind a queued write must wait (strict FIFO order)";
+}
+
+TEST_F(QueueTest, ReleaseAdvancesToNextWrite) {
+  Request w1 = make(AccessMode::Write);
+  Request w2 = make(AccessMode::Write);
+  queue_.insert(w1);
+  queue_.insert(w2);
+  queue_.release(w1);
+  EXPECT_EQ(w1.state, RequestState::Inactive);
+  EXPECT_EQ(w2.state, RequestState::Granted);
+}
+
+TEST_F(QueueTest, WriteWaitsForAllReadersToRelease) {
+  Request r1 = make(AccessMode::Read);
+  Request r2 = make(AccessMode::Read);
+  Request w = make(AccessMode::Write);
+  queue_.insert(r1);
+  queue_.insert(r2);
+  queue_.insert(w);
+  queue_.release(r1);
+  EXPECT_EQ(w.state, RequestState::Requested);
+  queue_.release(r2);
+  EXPECT_EQ(w.state, RequestState::Granted);
+}
+
+TEST_F(QueueTest, MiddleReaderCanReleaseFirst) {
+  Request r1 = make(AccessMode::Read);
+  Request r2 = make(AccessMode::Read);
+  queue_.insert(r1);
+  queue_.insert(r2);
+  queue_.release(r2);  // later reader releases before the first
+  EXPECT_EQ(r1.state, RequestState::Granted);
+  EXPECT_EQ(queue_.size(), 1u);
+}
+
+TEST_F(QueueTest, TicketsAreMonotonic) {
+  Request a = make(AccessMode::Read);
+  Request b = make(AccessMode::Write);
+  Request c = make(AccessMode::Read);
+  queue_.insert(a);
+  queue_.insert(b);
+  queue_.insert(c);
+  EXPECT_LT(a.ticket, b.ticket);
+  EXPECT_LT(b.ticket, c.ticket);
+}
+
+TEST_F(QueueTest, ReleaseUngrantedThrows) {
+  Request w1 = make(AccessMode::Write);
+  Request w2 = make(AccessMode::Write);
+  queue_.insert(w1);
+  queue_.insert(w2);
+  EXPECT_THROW(queue_.release(w2), ContractError);
+}
+
+TEST_F(QueueTest, DoubleReleaseThrows) {
+  Request w = make(AccessMode::Write);
+  queue_.insert(w);
+  queue_.release(w);
+  EXPECT_THROW(queue_.release(w), ContractError);
+}
+
+TEST_F(QueueTest, DoubleInsertThrows) {
+  Request w = make(AccessMode::Write);
+  queue_.insert(w);
+  EXPECT_THROW(queue_.insert(w), ContractError);
+}
+
+TEST_F(QueueTest, RenewKeepsCyclicOrder) {
+  // Two writers alternating: the renewal must land *behind* the waiting
+  // writer, never ahead of it.
+  Request a1 = make(AccessMode::Write);
+  Request a2 = make(AccessMode::Write);
+  Request b1 = make(AccessMode::Write);
+  queue_.insert(a1);
+  queue_.insert(b1);
+  queue_.release_and_renew(a1, a2);
+  EXPECT_EQ(b1.state, RequestState::Granted);
+  EXPECT_EQ(a2.state, RequestState::Requested);
+  Request b2 = make(AccessMode::Write);
+  queue_.release_and_renew(b1, b2);
+  EXPECT_EQ(a2.state, RequestState::Granted);
+  EXPECT_EQ(b2.state, RequestState::Requested);
+}
+
+TEST_F(QueueTest, RenewOnEmptyQueueRegrantsImmediately) {
+  Request a1 = make(AccessMode::Write);
+  Request a2 = make(AccessMode::Write);
+  queue_.insert(a1);
+  queue_.release_and_renew(a1, a2);
+  EXPECT_EQ(a2.state, RequestState::Granted);
+}
+
+TEST_F(QueueTest, RenewRequiresGrantedCurrent) {
+  Request w1 = make(AccessMode::Write);
+  Request w2 = make(AccessMode::Write);
+  Request next = make(AccessMode::Write);
+  queue_.insert(w1);
+  queue_.insert(w2);
+  EXPECT_THROW(queue_.release_and_renew(w2, next), ContractError);
+}
+
+TEST_F(QueueTest, RenewWithSameRequestThrows) {
+  Request w = make(AccessMode::Write);
+  queue_.insert(w);
+  EXPECT_THROW(queue_.release_and_renew(w, w), ContractError);
+}
+
+TEST_F(QueueTest, SnapshotReflectsOrder) {
+  Request r = make(AccessMode::Read);
+  Request w = make(AccessMode::Write);
+  queue_.insert(r);
+  queue_.insert(w);
+  const auto snap = queue_.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].mode, AccessMode::Read);
+  EXPECT_EQ(snap[0].state, RequestState::Granted);
+  EXPECT_EQ(snap[1].mode, AccessMode::Write);
+  EXPECT_EQ(snap[1].state, RequestState::Requested);
+}
+
+TEST_F(QueueTest, WriterReaderAlternationPattern) {
+  // The LK23 frontier pattern: writer exports, reader consumes, repeated.
+  Request w[4] = {make(AccessMode::Write), make(AccessMode::Write),
+                  make(AccessMode::Write), make(AccessMode::Write)};
+  Request r[4] = {make(AccessMode::Read), make(AccessMode::Read),
+                  make(AccessMode::Read), make(AccessMode::Read)};
+  queue_.insert(w[0]);
+  queue_.insert(r[0]);
+  for (int it = 0; it + 1 < 4; ++it) {
+    EXPECT_EQ(w[it].state, RequestState::Granted);
+    queue_.release_and_renew(w[it], w[it + 1]);
+    EXPECT_EQ(r[it].state, RequestState::Granted);
+    queue_.release_and_renew(r[it], r[it + 1]);
+  }
+  EXPECT_EQ(w[3].state, RequestState::Granted);
+}
+
+TEST(Queue, RequiresGrantSink) {
+  EXPECT_THROW(FifoQueue(nullptr), ContractError);
+}
+
+}  // namespace
+}  // namespace orwl

@@ -1,0 +1,144 @@
+// Unit tests for the support utilities (assert, cast, rng, table, time).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/assert.h"
+#include "support/cast.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "support/time.h"
+
+namespace {
+// Defeat optimization without volatile (deprecated in C++20).
+void benchmark_guard(const double& v) {
+  asm volatile("" : : "r,m"(v) : "memory");
+}
+}  // namespace
+
+namespace orwl {
+namespace {
+
+TEST(Assert, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(ORWL_CHECK(1 + 1 == 2));
+}
+
+TEST(Assert, CheckThrowsContractError) {
+  EXPECT_THROW(ORWL_CHECK(false), ContractError);
+}
+
+TEST(Assert, CheckMsgIncludesExpressionAndMessage) {
+  try {
+    ORWL_CHECK_MSG(2 < 1, "two is not less than " << 1);
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than 1"), std::string::npos);
+  }
+}
+
+TEST(Cast, RoundTripsInRange) {
+  EXPECT_EQ(checked_cast<int>(42L), 42);
+  EXPECT_EQ(checked_cast<std::uint8_t>(255), 255);
+}
+
+TEST(Cast, ThrowsOnOverflow) {
+  EXPECT_THROW(checked_cast<std::uint8_t>(256), ContractError);
+  EXPECT_THROW(checked_cast<std::int8_t>(1000), ContractError);
+}
+
+TEST(Cast, ThrowsOnNegativeToUnsigned) {
+  EXPECT_THROW(checked_cast<unsigned>(-1), ContractError);
+}
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u) << "all residues should appear in 1000 draws";
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidthRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(Table, CsvQuotesCommas) {
+  Table t({"a"});
+  t.add_row({"x,y"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, CsvEscapesQuotes) {
+  Table t({"a"});
+  t.add_row({"say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Fmt, FormatsWithPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(10.0, 0), "10");
+}
+
+TEST(Time, FormatPicksUnits) {
+  EXPECT_EQ(format_seconds(11.0), "11.000 s");
+  EXPECT_NE(format_seconds(0.0421).find("ms"), std::string::npos);
+  EXPECT_NE(format_seconds(42e-6).find("us"), std::string::npos);
+  EXPECT_NE(format_seconds(3e-9).find("ns"), std::string::npos);
+}
+
+TEST(Time, WallTimerAdvances) {
+  WallTimer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  benchmark_guard(sink);
+  EXPECT_GT(t.nanos(), 0);
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace orwl

@@ -1,0 +1,232 @@
+// Unit tests for topo::Topology (synthetic builder, levels, distances).
+
+#include <gtest/gtest.h>
+
+#include "support/assert.h"
+#include "topo/topology.h"
+
+namespace orwl::topo {
+namespace {
+
+TEST(Synthetic, PaperMachineShape) {
+  const Topology t = Topology::paper_machine();
+  EXPECT_EQ(t.depth(), 4);  // machine / pack / core / pu
+  EXPECT_EQ(t.num_pus(), 192);
+  EXPECT_EQ(t.level(1).size(), 24u);
+  EXPECT_EQ(t.level(2).size(), 192u);
+  const std::vector<int> arities = t.arities();
+  ASSERT_EQ(arities.size(), 3u);
+  EXPECT_EQ(arities[0], 24);
+  EXPECT_EQ(arities[1], 8);
+  EXPECT_EQ(arities[2], 1);
+  EXPECT_TRUE(t.is_balanced());
+}
+
+TEST(Synthetic, SmtMachine) {
+  const Topology t = Topology::synthetic("pack:2 core:4 pu:2");
+  EXPECT_EQ(t.num_pus(), 16);
+  EXPECT_EQ(t.depth(), 4);
+  // PUs of one core are adjacent in logical order.
+  EXPECT_EQ(t.pus()[0]->parent, t.pus()[1]->parent);
+  EXPECT_NE(t.pus()[1]->parent, t.pus()[2]->parent);
+}
+
+TEST(Synthetic, FlatMachine) {
+  const Topology t = Topology::flat(5);
+  EXPECT_EQ(t.depth(), 2);
+  EXPECT_EQ(t.num_pus(), 5);
+  EXPECT_EQ(t.arities(), std::vector<int>{5});
+}
+
+TEST(Synthetic, OsIndicesAreSequential) {
+  const Topology t = Topology::synthetic("pack:2 core:2 pu:2");
+  const auto pus = t.pus();
+  for (int i = 0; i < t.num_pus(); ++i)
+    EXPECT_EQ(pus[static_cast<std::size_t>(i)]->os_index, i);
+}
+
+TEST(Synthetic, CpusetsAggregate) {
+  const Topology t = Topology::synthetic("pack:2 core:4 pu:1");
+  EXPECT_EQ(t.root().cpuset.to_list_string(), "0-7");
+  EXPECT_EQ(t.level(1)[0]->cpuset.to_list_string(), "0-3");
+  EXPECT_EQ(t.level(1)[1]->cpuset.to_list_string(), "4-7");
+}
+
+TEST(Synthetic, RejectsMalformedSpecs) {
+  EXPECT_THROW(Topology::synthetic(""), ContractError);
+  EXPECT_THROW(Topology::synthetic("core:4"), ContractError);       // no pu
+  EXPECT_THROW(Topology::synthetic("pu:2 core:2"), ContractError);  // pu first
+  EXPECT_THROW(Topology::synthetic("pack:0 pu:1"), ContractError);
+  EXPECT_THROW(Topology::synthetic("pack pu:1"), ContractError);
+  EXPECT_THROW(Topology::synthetic("bogus:2 pu:1"), ContractError);
+  EXPECT_THROW(Topology::synthetic("machine:1 pu:1"), ContractError);
+}
+
+TEST(Synthetic, AcceptsAliases) {
+  const Topology t = Topology::synthetic("socket:2 numa:1 l3:1 core:2 pu:1");
+  EXPECT_EQ(t.depth(), 6);
+  EXPECT_EQ(t.level(1)[0]->type, ObjType::Package);
+  EXPECT_EQ(t.level(2)[0]->type, ObjType::NUMANode);
+  EXPECT_EQ(t.level(3)[0]->type, ObjType::L3);
+}
+
+TEST(ObjTypeNames, RoundTrip) {
+  for (ObjType ty : {ObjType::Machine, ObjType::Group, ObjType::Package,
+                     ObjType::NUMANode, ObjType::L3, ObjType::L2,
+                     ObjType::Core, ObjType::PU}) {
+    EXPECT_EQ(parse_obj_type(to_string(ty)), ty);
+  }
+  EXPECT_THROW(parse_obj_type("nonsense"), ContractError);
+}
+
+TEST(Distance, CommonAncestorDepth) {
+  const Topology t = Topology::synthetic("pack:2 core:2 pu:2");
+  const auto pus = t.pus();
+  // Same core: pus 0 and 1.
+  EXPECT_EQ(t.common_ancestor_depth(*pus[0], *pus[1]), 2);
+  // Same pack, different core: pus 0 and 2.
+  EXPECT_EQ(t.common_ancestor_depth(*pus[0], *pus[2]), 1);
+  // Different pack: pus 0 and 4.
+  EXPECT_EQ(t.common_ancestor_depth(*pus[0], *pus[4]), 0);
+  // Same PU.
+  EXPECT_EQ(t.common_ancestor_depth(*pus[0], *pus[0]), 3);
+}
+
+TEST(Distance, HopDistance) {
+  const Topology t = Topology::synthetic("pack:2 core:2 pu:2");
+  const auto pus = t.pus();
+  EXPECT_EQ(t.hop_distance(*pus[0], *pus[0]), 0);
+  EXPECT_EQ(t.hop_distance(*pus[0], *pus[1]), 2);
+  EXPECT_EQ(t.hop_distance(*pus[0], *pus[2]), 4);
+  EXPECT_EQ(t.hop_distance(*pus[0], *pus[4]), 6);
+  // Symmetry.
+  EXPECT_EQ(t.hop_distance(*pus[4], *pus[0]), 6);
+}
+
+TEST(Distance, MixedDepthObjects) {
+  const Topology t = Topology::synthetic("pack:2 core:2 pu:2");
+  const Object& pack0 = *t.level(1)[0];
+  const Object& pu0 = *t.pus()[0];
+  EXPECT_EQ(t.common_ancestor_depth(pack0, pu0), 1);
+  EXPECT_EQ(t.hop_distance(pack0, pu0), 2);
+}
+
+TEST(Lookup, PuByOsIndex) {
+  const Topology t = Topology::synthetic("pack:2 core:2 pu:1");
+  const Object* pu = t.pu_by_os(3);
+  ASSERT_NE(pu, nullptr);
+  EXPECT_EQ(pu->os_index, 3);
+  EXPECT_EQ(t.pu_by_os(99), nullptr);
+}
+
+TEST(Clone, DeepCopyMatches) {
+  const Topology t = Topology::synthetic("pack:3 core:2 pu:2");
+  const Topology c = t.clone();
+  EXPECT_EQ(c.depth(), t.depth());
+  EXPECT_EQ(c.num_pus(), t.num_pus());
+  EXPECT_EQ(c.arities(), t.arities());
+  for (int i = 0; i < t.num_pus(); ++i)
+    EXPECT_EQ(c.pus()[static_cast<std::size_t>(i)]->os_index,
+              t.pus()[static_cast<std::size_t>(i)]->os_index);
+  // Independent trees.
+  EXPECT_NE(&c.root(), &t.root());
+}
+
+TEST(Host, DetectsOrFallsBack) {
+  const Topology t = Topology::host();
+  EXPECT_GE(t.num_pus(), 1);
+  EXPECT_GE(t.depth(), 2);
+}
+
+TEST(Render, ToStringMentionsStructure) {
+  const Topology t = Topology::synthetic("pack:2 core:1 pu:1");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("machine"), std::string::npos);
+  EXPECT_NE(s.find("pack"), std::string::npos);
+  EXPECT_NE(s.find("pu"), std::string::npos);
+}
+
+TEST(Render, DotContainsNodesAndEdges) {
+  const Topology t = Topology::synthetic("pack:2 pu:2");
+  const std::string dot = t.to_dot();
+  EXPECT_NE(dot.find("digraph topology"), std::string::npos);
+  EXPECT_NE(dot.find("machine 0"), std::string::npos);
+  EXPECT_NE(dot.find("os 3"), std::string::npos);
+  // 7 objects, 6 edges.
+  std::size_t edges = 0;
+  for (std::size_t p = dot.find("->"); p != std::string::npos;
+       p = dot.find("->", p + 2))
+    ++edges;
+  EXPECT_EQ(edges, 6u);
+}
+
+TEST(Render, SummaryRoundTripsSynthetic) {
+  const std::string spec = "pack:24 core:8 pu:1";
+  const Topology t = Topology::synthetic(spec);
+  EXPECT_EQ(t.summary(), spec);
+  // The summary is itself a valid synthetic description.
+  const Topology back = Topology::synthetic(t.summary());
+  EXPECT_EQ(back.num_pus(), t.num_pus());
+  EXPECT_EQ(back.arities(), t.arities());
+}
+
+TEST(FromTree, RejectsNonUniformDepth) {
+  auto root = std::make_unique<Object>();
+  root->type = ObjType::Machine;
+  auto pu = std::make_unique<Object>();
+  pu->type = ObjType::PU;
+  pu->os_index = 0;
+  pu->parent = root.get();
+  auto core = std::make_unique<Object>();
+  core->type = ObjType::Core;
+  core->parent = root.get();
+  auto pu2 = std::make_unique<Object>();
+  pu2->type = ObjType::PU;
+  pu2->os_index = 1;
+  pu2->parent = core.get();
+  core->children.push_back(std::move(pu2));
+  root->children.push_back(std::move(pu));   // leaf at depth 1
+  root->children.push_back(std::move(core)); // leaf at depth 2
+  EXPECT_THROW(Topology::from_tree(std::move(root)), ContractError);
+}
+
+TEST(FromTree, RejectsDuplicateOsIndex) {
+  auto root = std::make_unique<Object>();
+  root->type = ObjType::Machine;
+  for (int i = 0; i < 2; ++i) {
+    auto pu = std::make_unique<Object>();
+    pu->type = ObjType::PU;
+    pu->os_index = 7;  // duplicate
+    pu->parent = root.get();
+    root->children.push_back(std::move(pu));
+  }
+  EXPECT_THROW(Topology::from_tree(std::move(root)), ContractError);
+}
+
+TEST(Balance, UnbalancedDetected) {
+  auto root = std::make_unique<Object>();
+  root->type = ObjType::Machine;
+  int os = 0;
+  for (int c = 0; c < 2; ++c) {
+    auto core = std::make_unique<Object>();
+    core->type = ObjType::Core;
+    core->parent = root.get();
+    const int npus = c == 0 ? 1 : 2;
+    for (int p = 0; p < npus; ++p) {
+      auto pu = std::make_unique<Object>();
+      pu->type = ObjType::PU;
+      pu->os_index = os++;
+      pu->parent = core.get();
+      core->children.push_back(std::move(pu));
+    }
+    root->children.push_back(std::move(core));
+  }
+  const Topology t = Topology::from_tree(std::move(root));
+  EXPECT_FALSE(t.is_balanced());
+  EXPECT_EQ(t.num_pus(), 3);
+  // arities reports the max at the irregular level.
+  EXPECT_EQ(t.arities(), (std::vector<int>{2, 2}));
+}
+
+}  // namespace
+}  // namespace orwl::topo

@@ -1,0 +1,69 @@
+// orwl-lstopo: print a machine topology, lstopo-style.
+//
+// Usage:
+//   orwl-lstopo                      # detected host machine
+//   orwl-lstopo "pack:24 core:8 pu:1"
+//   orwl-lstopo --dot [spec]         # graphviz output
+//   orwl-lstopo --sysfs <root> [..]  # detect from an alternate sysfs root
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "topo/sysfs.h"
+#include "topo/topology.h"
+
+int main(int argc, char** argv) {
+  using namespace orwl::topo;
+
+  bool dot = false;
+  std::string sysfs_root;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--sysfs") {
+      if (++i >= argc) {
+        std::cerr << "orwl-lstopo: --sysfs needs a path\n";
+        return 1;
+      }
+      sysfs_root = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: orwl-lstopo [--dot] [--sysfs <root>] "
+                   "[synthetic-spec]\n";
+      return 0;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  Topology topo = Topology::flat(1);
+  try {
+    if (!positional.empty()) {
+      topo = Topology::synthetic(positional.front());
+    } else if (!sysfs_root.empty()) {
+      auto detected = detect_from_sysfs(sysfs_root);
+      if (!detected) {
+        std::cerr << "orwl-lstopo: no topology under '" << sysfs_root
+                  << "'\n";
+        return 1;
+      }
+      topo = std::move(*detected);
+    } else {
+      topo = Topology::host();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "orwl-lstopo: " << e.what() << '\n';
+    return 1;
+  }
+
+  if (dot) {
+    std::cout << topo.to_dot();
+  } else {
+    std::cout << "machine: " << topo.summary() << " — " << topo.num_pus()
+              << " PUs, depth " << topo.depth() << '\n'
+              << topo.to_string();
+  }
+  return 0;
+}
