@@ -3,6 +3,11 @@
 // 192-core SMP). This validates the runtime and the binding machinery; the
 // full-scale shape is reproduced by fig1_livermore_sim.
 //
+// The two ORWL columns run the ONE shared program definition
+// (lk23::define_lk23_program) on a RuntimeBackend; fig1_livermore_sim runs
+// the identical definition on a SimBackend — the comparison differs only
+// in backend selection.
+//
 // Environment knobs:
 //   ORWL_BENCH_N      matrix size (default 3072; must be divisible by the
 //                     block grids of the sweep)
@@ -10,10 +15,9 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <thread>
 
 #include "lk23/forkjoin_impl.h"
-#include "lk23/orwl_impl.h"
+#include "lk23/lk23_program.h"
 #include "sim/lk23_model.h"
 #include "support/table.h"
 
@@ -54,10 +58,17 @@ int main() {
     spec.by = by;
 
     const auto fj = lk23::run_forkjoin(spec, tasks);
-    const auto nobind = lk23::run_orwl(spec, place::Policy::None, topo);
-    const auto bind = lk23::run_orwl(spec, place::Policy::TreeMatch, topo);
 
-    table.add_row({std::to_string(tasks), std::to_string(bind.num_tasks),
+    RuntimeBackend nobind_be;
+    const RunReport nobind =
+        lk23::run_lk23_program(spec, place::Policy::None, nobind_be);
+
+    RuntimeBackend bind_be;
+    lk23::ProgramDef def;
+    const RunReport bind =
+        lk23::run_lk23_program(spec, place::Policy::TreeMatch, bind_be, &def);
+
+    table.add_row({std::to_string(tasks), std::to_string(def.num_tasks),
                    fmt(fj.seconds, 3), fmt(nobind.seconds, 3),
                    fmt(bind.seconds, 3), fmt(fj.seconds / bind.seconds, 2),
                    fmt(nobind.seconds / bind.seconds, 2)});

@@ -2,15 +2,23 @@
 // implementations — OpenMP, ORWL NoBind, ORWL Bind — on the paper's machine
 // (24 sockets x 8 cores = 192 cores), 16384x16384 doubles, 100 iterations.
 //
+// The two ORWL columns run the ONE shared program definition
+// (lk23::define_lk23_program) on a SimBackend targeting the paper machine;
+// fig1_livermore_real runs the identical definition on a RuntimeBackend —
+// the comparison differs only in backend selection. The OpenMP column
+// keeps the legacy fork-join model (a different programming model, not an
+// ORWL program).
+//
 // The physical SMP is unavailable, so the run executes on the calibrated
-// NUMA cost model (src/sim); see DESIGN.md for the substitution argument.
-// Expected shape (paper): ORWL Bind reaches ~11 s at full machine, ~5x
-// faster than OpenMP and ~2.8x faster than ORWL NoBind; the non-topology-
-// aware versions stop improving beyond one or two sockets.
+// NUMA cost model (src/sim). Expected shape (paper): ORWL Bind reaches
+// ~11 s at full machine, ~5x faster than OpenMP and ~2.8x faster than ORWL
+// NoBind; the non-topology-aware versions stop improving beyond one or two
+// sockets.
 
 #include <cstdlib>
 #include <iostream>
 
+#include "lk23/lk23_program.h"
 #include "sim/lk23_model.h"
 #include "support/table.h"
 
@@ -29,17 +37,24 @@ int main() {
   const int sweep[] = {8, 16, 32, 48, 64, 96, 128, 160, 192};
   double best_bind = 1e30, omp_at_best = 0, nobind_at_best = 0;
   for (int cores : sweep) {
-    sim::Lk23SimSpec spec;
-    spec.tasks = cores;
+    sim::Lk23SimSpec omp_spec;
+    omp_spec.tasks = cores;
     const double omp =
-        sim::simulate_lk23(sim::Lk23Impl::OpenMP, topo, cost, spec)
+        sim::simulate_lk23(sim::Lk23Impl::OpenMP, topo, cost, omp_spec)
             .total_seconds;
+
+    const lk23::Spec spec =
+        lk23::spec_for_tasks(omp_spec.matrix_n, omp_spec.iterations, cores);
+
+    SimBackend nobind_be(topo.clone(), cost);
     const double nobind =
-        sim::simulate_lk23(sim::Lk23Impl::OrwlNoBind, topo, cost, spec)
-            .total_seconds;
+        lk23::run_lk23_program(spec, place::Policy::None, nobind_be).seconds;
+
+    SimBackend bind_be(topo.clone(), cost);
     const double bind =
-        sim::simulate_lk23(sim::Lk23Impl::OrwlBind, topo, cost, spec)
-            .total_seconds;
+        lk23::run_lk23_program(spec, place::Policy::TreeMatch, bind_be)
+            .seconds;
+
     if (bind < best_bind) {
       best_bind = bind;
       omp_at_best = omp;

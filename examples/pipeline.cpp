@@ -3,14 +3,16 @@
 // Stage 0 produces frames, stage 1 blurs, stage 2 reduces to a checksum.
 // The ordered FIFO semantics give lock-step hand-off without any explicit
 // condition-variable code, and TreeMatch places the stages close to each
-// other.
+// other. Written against the typed Program API: the frame buffers are
+// Location<float>, the per-frame result store is Location<double>, and the
+// sections renew themselves from frame to frame.
 
+#include <algorithm>
 #include <iostream>
 #include <numeric>
 
-#include "orwl/runtime.h"
-#include "place/placement.h"
-#include "support/table.h"
+#include "orwl/backend.h"
+#include "orwl/program.h"
 
 namespace {
 
@@ -21,96 +23,75 @@ constexpr int kFramePixels = 4096;
 
 int main() {
   using namespace orwl;
-  Runtime rt;
+  Program p;
 
-  const LocationId raw = rt.add_location(kFramePixels * sizeof(float), "raw");
-  const LocationId blurred =
-      rt.add_location(kFramePixels * sizeof(float), "blurred");
-  const LocationId sums =
-      rt.add_location(kFrames * sizeof(double), "sums");
+  const Location<float> raw = p.location<float>(kFramePixels, "raw");
+  const Location<float> blurred = p.location<float>(kFramePixels, "blurred");
+  const Location<double> sums = p.location<double>(kFrames, "sums");
 
   // Stage 0: producer writes a synthetic frame per round.
-  rt.add_task("produce", [](TaskContext& ctx) {
-    Handle& out = ctx.handle(0);
-    for (int f = 0; f < kFrames; ++f) {
-      auto frame = as_span<float>(out.acquire());
-      for (int p = 0; p < kFramePixels; ++p)
-        frame[static_cast<std::size_t>(p)] =
-            static_cast<float>((p * 31 + f * 17) % 256) / 255.0f;
-      f + 1 == kFrames ? out.release() : out.release_and_renew();
-    }
+  p.task("produce").writes(raw).iterations(kFrames).body([raw](Step& s) {
+    const int f = s.round();
+    s.write(raw, [f](std::span<float> frame) {
+      for (int px = 0; px < kFramePixels; ++px)
+        frame[static_cast<std::size_t>(px)] =
+            static_cast<float>((px * 31 + f * 17) % 256) / 255.0f;
+    });
   });
 
-  // Stage 1: 3-tap blur raw -> blurred.
-  rt.add_task("blur", [](TaskContext& ctx) {
-    Handle& in = ctx.handle(1);
-    Handle& out = ctx.handle(2);
-    std::vector<float> local(kFramePixels);
-    for (int f = 0; f < kFrames; ++f) {
-      const bool last = f + 1 == kFrames;
-      {
-        auto frame =
-            as_span<const float>(std::span<const std::byte>(in.acquire()));
-        std::copy(frame.begin(), frame.end(), local.begin());
-        last ? in.release() : in.release_and_renew();
-      }
-      auto dst = as_span<float>(out.acquire());
-      for (int p = 0; p < kFramePixels; ++p) {
-        const float l = local[static_cast<std::size_t>(std::max(0, p - 1))];
-        const float c = local[static_cast<std::size_t>(p)];
-        const float r = local[static_cast<std::size_t>(
-            std::min(kFramePixels - 1, p + 1))];
-        dst[static_cast<std::size_t>(p)] = (l + c + r) / 3.0f;
-      }
-      last ? out.release() : out.release_and_renew();
-    }
-  });
+  // Stage 1: 3-tap blur raw -> blurred, via a local scratch copy so the
+  // read lock is held only for the copy.
+  p.task("blur")
+      .reads(raw)
+      .writes(blurred)
+      .iterations(kFrames)
+      .body([raw, blurred,
+             local = std::vector<float>(kFramePixels)](Step& s) mutable {
+        s.read(raw, [&](std::span<const float> frame) {
+          std::copy(frame.begin(), frame.end(), local.begin());
+        });
+        s.write(blurred, [&](std::span<float> dst) {
+          for (int px = 0; px < kFramePixels; ++px) {
+            const float l = local[static_cast<std::size_t>(std::max(0, px - 1))];
+            const float c = local[static_cast<std::size_t>(px)];
+            const float r = local[static_cast<std::size_t>(
+                std::min(kFramePixels - 1, px + 1))];
+            dst[static_cast<std::size_t>(px)] = (l + c + r) / 3.0f;
+          }
+        });
+      });
 
   // Stage 2: reduce each blurred frame to a sum; store per-frame results.
-  rt.add_task("reduce", [](TaskContext& ctx) {
-    Handle& in = ctx.handle(3);
-    Handle& out = ctx.handle(4);
-    for (int f = 0; f < kFrames; ++f) {
-      const bool last = f + 1 == kFrames;
-      double sum = 0.0;
-      {
-        auto frame =
-            as_span<const float>(std::span<const std::byte>(in.acquire()));
-        sum = std::accumulate(frame.begin(), frame.end(), 0.0);
-        last ? in.release() : in.release_and_renew();
-      }
-      auto results = as_span<double>(out.acquire());
-      results[static_cast<std::size_t>(f)] = sum;
-      last ? out.release() : out.release_and_renew();
-    }
-  });
+  p.task("reduce")
+      .reads(blurred)
+      .writes(sums)
+      .iterations(kFrames)
+      .body([blurred, sums](Step& s) {
+        const double sum = s.read(blurred, [](std::span<const float> frame) {
+          return std::accumulate(frame.begin(), frame.end(), 0.0);
+        });
+        const int f = s.round();
+        s.write(sums, [f, sum](std::span<double> results) {
+          results[static_cast<std::size_t>(f)] = sum;
+        });
+      });
 
-  // Canonical order per location: writer before reader.
-  rt.add_handle(0, raw, AccessMode::Write);      // handle 0: produce->raw
-  rt.add_handle(1, raw, AccessMode::Read);       // handle 1: blur<-raw
-  rt.add_handle(1, blurred, AccessMode::Write);  // handle 2: blur->blurred
-  rt.add_handle(2, blurred, AccessMode::Read);   // handle 3: reduce<-blurred
-  rt.add_handle(2, sums, AccessMode::Write);     // handle 4: reduce->sums
+  p.place(place::Policy::TreeMatch);
 
-  const auto topo = topo::Topology::host();
-  const place::Plan plan = place::compute_plan(
-      place::Policy::TreeMatch, topo, rt.static_comm_matrix());
-  place::apply_plan(plan, topo, rt);
+  RuntimeBackend backend;
+  const RunReport rep = p.run(backend);
 
-  rt.run();
-
-  const auto results = as_span<double>(rt.location_data(sums));
+  const std::vector<double> results = backend.fetch(sums);
   std::cout << "pipeline processed " << kFrames << " frames of "
             << kFramePixels << " pixels\n";
   std::cout << "first sums:";
   for (int f = 0; f < 5; ++f)
     std::cout << ' ' << results[static_cast<std::size_t>(f)];
   std::cout << "\nplacement:";
-  for (int t = 0; t < rt.num_tasks(); ++t)
-    std::cout << ' ' << rt.task_name(t) << "->PU"
-              << plan.compute_pu[static_cast<std::size_t>(t)];
-  std::cout << "\ntotal grants: "
-            << rt.stats().read_grants() + rt.stats().write_grants() << '\n';
+  for (int t = 0; t < p.num_tasks(); ++t)
+    std::cout << ' ' << p.task_decls()[static_cast<std::size_t>(t)].name
+              << "->PU" << rep.plan.compute_pu[static_cast<std::size_t>(t)];
+  std::cout << "\ntotal grants: " << rep.grants << '\n';
 
   // Sanity: frame sums must be stable and positive.
   for (int f = 0; f < kFrames; ++f) {

@@ -1,19 +1,21 @@
 // Quickstart: the smallest complete ORWL program with topology-aware
-// placement.
+// placement, written against the typed Program API.
 //
-//   1. create locations (shared resources guarded by ordered RW locks),
-//   2. create tasks and register handles (the registration order is the
-//      canonical FIFO priming order),
-//   3. extract the communication matrix, run Algorithm 1, bind,
-//   4. run and inspect.
+//   1. declare typed locations (shared resources guarded by ordered RW
+//      locks),
+//   2. declare tasks fluently — reads/writes wire the handles, the body
+//      sees typed spans through self-renewing RAII sections,
+//   3. ask for placement in one call (comm matrix -> Algorithm 1 -> bind),
+//   4. pick a backend, run and inspect.
 //
 // The program is a 4-stage ring: each task reads its input location and
-// writes its output location, 10 rounds.
+// writes its output location, 10 rounds. Swap RuntimeBackend for a
+// SimBackend to predict the same program on a machine you do not have.
 
 #include <iostream>
 
-#include "orwl/runtime.h"
-#include "place/placement.h"
+#include "orwl/backend.h"
+#include "orwl/program.h"
 #include "support/table.h"
 
 int main() {
@@ -21,66 +23,59 @@ int main() {
   constexpr int kStages = 4;
   constexpr int kRounds = 10;
 
-  Runtime rt;
+  Program p;
 
   // 1. Locations: one long per pipeline stage.
-  std::vector<LocationId> locs;
+  std::vector<Location<long>> stage;
   for (int i = 0; i < kStages; ++i)
-    locs.push_back(rt.add_location(sizeof(long), "stage" + std::to_string(i)));
+    stage.push_back(p.location<long>(1, "stage" + std::to_string(i)));
 
-  // 2. Tasks: stage i reads locs[i], writes locs[i+1].
+  // 2. Tasks: stage i reads stage[i], writes stage[i+1]. Sections renew
+  // themselves every round and release on the last one — the iterative
+  // lock discipline is not spellable incorrectly here.
   for (int i = 0; i < kStages; ++i) {
-    rt.add_task("stage" + std::to_string(i), [i](TaskContext& ctx) {
-      Handle& rd = ctx.handle(2 * i);
-      Handle& wr = ctx.handle(2 * i + 1);
-      for (int round = 0; round < kRounds; ++round) {
-        const bool last = round + 1 == kRounds;
-        long v;
-        {
-          auto in = rd.acquire();
-          v = as_span<const long>(std::span<const std::byte>(in))[0];
-          last ? rd.release() : rd.release_and_renew();
-        }
-        auto out = wr.acquire();
-        as_span<long>(out)[0] = v + 1;
-        last ? wr.release() : wr.release_and_renew();
-      }
-    });
-  }
-  for (int i = 0; i < kStages; ++i) {
-    rt.add_handle(i, locs[static_cast<std::size_t>(i)], AccessMode::Read);
-    rt.add_handle(i, locs[static_cast<std::size_t>((i + 1) % kStages)],
-                  AccessMode::Write);
+    const Location<long> in = stage[static_cast<std::size_t>(i)];
+    const Location<long> out =
+        stage[static_cast<std::size_t>((i + 1) % kStages)];
+    p.task("stage" + std::to_string(i))
+        .reads(in)
+        .writes(out)
+        .iterations(kRounds)
+        .body([in, out](Step& s) {
+          const long v =
+              s.read(in, [](std::span<const long> x) { return x[0]; });
+          s.write(out, [v](std::span<long> x) { x[0] = v + 1; });
+        });
   }
 
-  // 3. Topology-aware placement (the paper's Algorithm 1).
-  const auto topo = topo::Topology::host();
-  const comm::CommMatrix m = rt.static_comm_matrix();
-  const place::Plan plan = place::compute_plan(place::Policy::TreeMatch,
-                                               topo, m);
-  place::apply_plan(plan, topo, rt);
+  // 3. Topology-aware placement (the paper's Algorithm 1), one call.
+  p.place(place::Policy::TreeMatch);
+
+  // 4. Run on the real runtime of this machine.
+  RuntimeBackend backend;
+  const auto& topo = backend.topology();
+  const comm::CommMatrix m = p.static_comm_matrix();
 
   std::cout << "host topology: " << topo.num_pus() << " PUs, depth "
             << topo.depth() << "\n\ncommunication matrix (bytes/round):\n";
   m.save_csv(std::cout);
 
+  const RunReport rep = p.run(backend);
+
   Table table({"task", "compute PU", "control PU"});
-  for (int t = 0; t < kStages; ++t)
-    table.add_row({rt.task_name(t),
-                   std::to_string(plan.compute_pu[static_cast<std::size_t>(t)]),
-                   std::to_string(plan.control_pu[static_cast<std::size_t>(t)])});
+  for (int t = 0; t < p.num_tasks(); ++t)
+    table.add_row(
+        {p.task_decls()[static_cast<std::size_t>(t)].name,
+         std::to_string(rep.plan.compute_pu[static_cast<std::size_t>(t)]),
+         std::to_string(rep.plan.control_pu[static_cast<std::size_t>(t)])});
   std::cout << "\nplacement (control strategy: "
-            << treematch::to_string(plan.treematch.control_used) << "):\n";
+            << treematch::to_string(rep.plan.treematch.control_used)
+            << "):\n";
   table.print(std::cout);
 
-  // 4. Run.
-  rt.run();
   std::cout << "\nafter " << kRounds << " rounds, stage values:";
-  for (int i = 0; i < kStages; ++i)
-    std::cout << ' '
-              << as_span<long>(rt.location_data(
-                     locs[static_cast<std::size_t>(i)]))[0];
-  std::cout << "\ngrants delivered: "
-            << rt.stats().read_grants() + rt.stats().write_grants() << '\n';
+  for (const Location<long>& loc : stage)
+    std::cout << ' ' << backend.fetch(loc)[0];
+  std::cout << "\ngrants delivered: " << rep.grants << '\n';
   return 0;
 }

@@ -2,12 +2,16 @@
 // machine, comparing ORWL NoBind, ORWL Bind (Algorithm 1) and the
 // fork-join (OpenMP-equivalent) baseline, with numerical verification
 // against the blocked sequential reference.
+//
+// The ORWL rows run the shared Program definition
+// (lk23::define_lk23_program) on RuntimeBackends — the same definition the
+// Figure-1 benches execute natively and feed to the simulator.
 
 #include <iostream>
 
 #include "lk23/forkjoin_impl.h"
 #include "lk23/kernel.h"
-#include "lk23/orwl_impl.h"
+#include "lk23/lk23_program.h"
 #include "support/table.h"
 #include "support/time.h"
 
@@ -34,15 +38,25 @@ int main(int argc, char** argv) {
                  fmt(lk23::max_abs_diff(fj.za, ref), 17),
                  std::to_string(fj.num_threads)});
 
-  const auto nobind = lk23::run_orwl(spec, place::Policy::None, topo);
-  table.add_row({"ORWL NoBind", format_seconds(nobind.seconds),
-                 fmt(lk23::max_abs_diff(nobind.za, ref), 17),
-                 std::to_string(nobind.num_tasks)});
+  RuntimeBackend nobind_be;
+  lk23::ProgramDef nobind_def;
+  const RunReport nobind = lk23::run_lk23_program(
+      spec, place::Policy::None, nobind_be, &nobind_def);
+  table.add_row(
+      {"ORWL NoBind", format_seconds(nobind.seconds),
+       fmt(lk23::max_abs_diff(lk23::fetch_field(nobind_be, nobind_def), ref),
+           17),
+       std::to_string(nobind_def.num_tasks)});
 
-  const auto bind = lk23::run_orwl(spec, place::Policy::TreeMatch, topo);
-  table.add_row({"ORWL Bind (Algorithm 1)", format_seconds(bind.seconds),
-                 fmt(lk23::max_abs_diff(bind.za, ref), 17),
-                 std::to_string(bind.num_tasks)});
+  RuntimeBackend bind_be;
+  lk23::ProgramDef bind_def;
+  const RunReport bind = lk23::run_lk23_program(
+      spec, place::Policy::TreeMatch, bind_be, &bind_def);
+  table.add_row(
+      {"ORWL Bind (Algorithm 1)", format_seconds(bind.seconds),
+       fmt(lk23::max_abs_diff(lk23::fetch_field(bind_be, bind_def), ref),
+           17),
+       std::to_string(bind_def.num_tasks)});
 
   table.print(std::cout);
 

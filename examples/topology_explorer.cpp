@@ -2,18 +2,72 @@
 // 192-core machine, then shows what Algorithm 1 does with a stencil
 // application on each — the mapping, its locality metrics, and how the
 // alternative policies compare.
+//
+// The stencil is declared as an orwl::Program with no bodies: locations
+// and access declarations alone carry the sharing structure, so the
+// communication matrix and the placement plans come straight from the
+// declaration — no runtime, no execution. (Only Program::run needs
+// bodies.)
 
 #include <cmath>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "comm/metrics.h"
-#include "comm/patterns.h"
-#include "place/placement.h"
+#include "orwl/program.h"
 #include "support/table.h"
 
 namespace {
 
 using namespace orwl;
+
+// A blocks_x × blocks_y halo-exchange stencil: every block task exports
+// one face location per existing neighbour (4-neighbourhood) and reads the
+// neighbours' opposing faces.
+Program stencil_program(int blocks_x, int blocks_y, long block_rows,
+                        long block_cols) {
+  Program p;
+  const int dx[] = {0, 0, -1, +1};           // N, S, W, E
+  const int dy[] = {-1, +1, 0, 0};
+  auto face_elems = [&](int d) {
+    return static_cast<std::size_t>(d < 2 ? block_cols : block_rows);
+  };
+  auto block_id = [&](int x, int y) { return y * blocks_x + x; };
+  auto exists = [&](int x, int y) {
+    return x >= 0 && y >= 0 && x < blocks_x && y < blocks_y;
+  };
+
+  // faces[b][d]: block b's export towards direction d.
+  std::vector<std::array<Location<double>, 4>> faces(
+      static_cast<std::size_t>(blocks_x * blocks_y));
+  for (int y = 0; y < blocks_y; ++y)
+    for (int x = 0; x < blocks_x; ++x)
+      for (int d = 0; d < 4; ++d) {
+        if (!exists(x + dx[d], y + dy[d])) continue;
+        const int b = block_id(x, y);
+        faces[static_cast<std::size_t>(b)][static_cast<std::size_t>(d)] =
+            p.location<double>(face_elems(d),
+                               "face" + std::to_string(b) + "d" +
+                                   std::to_string(d));
+      }
+  for (int y = 0; y < blocks_y; ++y)
+    for (int x = 0; x < blocks_x; ++x) {
+      const int b = block_id(x, y);
+      TaskBuilder t = p.task("block" + std::to_string(b));
+      for (int d = 0; d < 4; ++d) {
+        const auto& own =
+            faces[static_cast<std::size_t>(b)][static_cast<std::size_t>(d)];
+        if (own.valid()) t.writes(own);
+        if (!exists(x + dx[d], y + dy[d])) continue;
+        const int nb = block_id(x + dx[d], y + dy[d]);
+        const int opp = d ^ 1;  // N<->S, W<->E
+        t.reads(faces[static_cast<std::size_t>(nb)]
+                     [static_cast<std::size_t>(opp)]);
+      }
+    }
+  return p;
+}
 
 void explore(const char* name, const topo::Topology& topo) {
   std::cout << "=== " << name << " ===\n";
@@ -23,16 +77,13 @@ void explore(const char* name, const topo::Topology& topo) {
   std::cout << (topo.is_balanced() ? " (balanced)" : " (irregular)") << "\n";
   if (topo.num_pus() <= 16) std::cout << topo.to_string();
 
-  // A stencil as large as the machine.
-  const int p = topo.num_pus();
-  const int side = std::max(1, static_cast<int>(std::sqrt(double(p))));
-  comm::StencilSpec spec;
-  spec.blocks_y = side;
-  spec.blocks_x = p / side;
-  spec.block_rows = 256;
-  spec.block_cols = 256;
-  const int threads = spec.blocks_x * spec.blocks_y;
-  const auto m = comm::stencil_matrix(spec);
+  // A stencil as large as the machine, declared as a Program.
+  const int pus = topo.num_pus();
+  const int side = std::max(1, static_cast<int>(std::sqrt(double(pus))));
+  const int blocks_y = side;
+  const int blocks_x = pus / side;
+  const Program p = stencil_program(blocks_x, blocks_y, 256, 256);
+  const auto m = p.static_comm_matrix();
 
   Table table({"policy", "hop-bytes (KiB)", "package-local %"});
   for (place::Policy policy :
@@ -45,8 +96,9 @@ void explore(const char* name, const topo::Topology& topo) {
     table.add_row({place::to_string(policy), fmt(hb / 1024.0, 1),
                    fmt(100.0 * local, 1)});
   }
-  std::cout << "\nstencil of " << threads << " threads ("
-            << spec.blocks_x << "x" << spec.blocks_y << " blocks):\n";
+  std::cout << "\nstencil of " << p.num_tasks() << " threads ("
+            << blocks_x << "x" << blocks_y << " blocks, "
+            << p.num_locations() << " face locations):\n";
   table.print(std::cout);
   std::cout << '\n';
 }

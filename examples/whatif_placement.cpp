@@ -2,12 +2,15 @@
 // would behave on machines you do not have — the workflow the simulator
 // enables beyond reproducing the paper's figure.
 //
-// The program builds the paper's LK23 decomposition and asks, for a range
-// of hypothetical machines: what does topology-aware placement buy on this
-// box, and where does the naive OpenMP version stop scaling?
+// The program is the shared LK23 Program definition; for every
+// hypothetical machine a SimBackend predicts it unplaced (ORWL NoBind) and
+// TreeMatch-placed (ORWL Bind). The identical definition runs for real in
+// stencil_heat / fig1_livermore_real — only the backend differs here. The
+// OpenMP column keeps the legacy fork-join model for comparison.
 
 #include <iostream>
 
+#include "lk23/lk23_program.h"
 #include "sim/lk23_model.h"
 #include "support/table.h"
 
@@ -35,21 +38,28 @@ int main() {
   for (const Machine& m : machines) {
     const auto topo = topo::Topology::synthetic(m.spec);
     const sim::LinkCost cost = sim::LinkCost::defaults_for(topo);
-    sim::Lk23SimSpec spec;
+    sim::Lk23SimSpec omp_spec;
     // Use physical cores (not SMT threads) as blocks, like the paper.
     int cores = topo.num_pus();
     if (!topo.arities().empty() && topo.arities().back() > 1)
       cores /= topo.arities().back();
-    spec.tasks = cores;
+    omp_spec.tasks = cores;
     const double omp =
-        sim::simulate_lk23(sim::Lk23Impl::OpenMP, topo, cost, spec)
+        sim::simulate_lk23(sim::Lk23Impl::OpenMP, topo, cost, omp_spec)
             .total_seconds;
+
+    const lk23::Spec spec =
+        lk23::spec_for_tasks(omp_spec.matrix_n, omp_spec.iterations, cores);
+
+    SimBackend nobind_be(topo.clone(), cost);
     const double nobind =
-        sim::simulate_lk23(sim::Lk23Impl::OrwlNoBind, topo, cost, spec)
-            .total_seconds;
+        lk23::run_lk23_program(spec, place::Policy::None, nobind_be).seconds;
+
+    SimBackend bind_be(topo.clone(), cost);
     const double bind =
-        sim::simulate_lk23(sim::Lk23Impl::OrwlBind, topo, cost, spec)
-            .total_seconds;
+        lk23::run_lk23_program(spec, place::Policy::TreeMatch, bind_be)
+            .seconds;
+
     const double payoff = std::min(omp, nobind) / bind;
     table.add_row({m.name, std::to_string(cores), fmt(omp, 1),
                    fmt(nobind, 1), fmt(bind, 1), fmt(payoff, 2) + "x"});

@@ -38,8 +38,6 @@ std::pair<int, int> dir_delta(int dir) {
   return {0, 0};
 }
 
-namespace {
-
 // Face geometry: number of doubles block b exports towards `dir`.
 long face_elems(const Spec& spec, int dir) {
   const long brows = spec.n / spec.by;
@@ -70,6 +68,8 @@ void copy_face(const double* za, long rows, long cols, int dir, double* out) {
   }
   ORWL_CHECK_MSG(false, "bad direction " << dir);
 }
+
+namespace {
 
 // Per-main-task mutable state (halo buffers), shared with the lambda.
 struct MainState {

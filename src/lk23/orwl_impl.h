@@ -26,6 +26,14 @@ int opposite(int dir);
 /// Neighbour block delta for a direction: {dx, dy} with y growing south.
 std::pair<int, int> dir_delta(int dir);
 
+/// Number of doubles a block exports towards `dir` (edge length, or 1 for
+/// corners).
+long face_elems(const Spec& spec, int dir);
+
+/// Copy the face of a contiguous rows×cols block buffer towards `dir` into
+/// `out` (face_elems doubles).
+void copy_face(const double* za, long rows, long cols, int dir, double* out);
+
 /// Ids of everything built into a Runtime for one LK23 program.
 struct OrwlProgram {
   Spec spec;

@@ -1,0 +1,230 @@
+#include "orwl/backend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.h"
+#include "support/rng.h"
+#include "support/time.h"
+
+namespace orwl {
+
+namespace {
+
+/// Build the program into a runtime: locations, tasks whose bodies run the
+/// per-iteration Step loop, and handles registered in the program's
+/// canonical priming order.
+void build_runtime(const Program& program, Runtime& rt) {
+  program.validate_executable();
+
+  for (const Program::LocationDecl& loc : program.location_decls())
+    rt.add_location(loc.bytes, loc.name);
+
+  // Slot tables are filled after handle registration below; the task
+  // lambdas only dereference them once the runtime actually runs.
+  std::vector<std::shared_ptr<std::vector<Step::Slot>>> tables;
+  tables.reserve(program.task_decls().size());
+
+  for (const Program::TaskDecl& decl : program.task_decls()) {
+    auto table = std::make_shared<std::vector<Step::Slot>>();
+    tables.push_back(table);
+    rt.add_task(decl.name,
+                [fn = decl.fn, rounds = decl.iterations,
+                 table](TaskContext& ctx) {
+                  // Copy: pending flags are per-execution state.
+                  Step step(ctx.runtime(), ctx.id(), rounds, *table);
+                  for (int r = 0; r < rounds; ++r) {
+                    step.set_round(r);
+                    fn(step);
+                  }
+                  step.drain();
+                });
+  }
+
+  for (const auto& [task, access] : program.prime_sequence()) {
+    const Program::AccessDecl& acc =
+        program.task_decls()[static_cast<std::size_t>(task)]
+            .accesses[static_cast<std::size_t>(access)];
+    const HandleId h = rt.add_handle(task, acc.location, acc.mode,
+                                     /*prime=*/true);
+    tables[static_cast<std::size_t>(task)]->push_back(
+        {acc.location, acc.mode, h, /*pending=*/true});
+  }
+}
+
+void apply_inits(const Program& program, Runtime& rt) {
+  for (const Program::InitHook& hook : program.init_hooks())
+    hook.fn(rt.location_data(hook.location));
+}
+
+place::Plan plan_for(const Program& program, const topo::Topology& topo,
+                     const comm::CommMatrix& m) {
+  return place::compute_plan(*program.policy(), topo, m,
+                             program.treematch_options(),
+                             program.place_seed());
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// RuntimeBackend
+// --------------------------------------------------------------------------
+
+RuntimeBackend::RuntimeBackend(RuntimeOptions opts)
+    : opts_(opts), topo_(topo::Topology::host()) {}
+
+RuntimeBackend::RuntimeBackend(RuntimeOptions opts, topo::Topology topo)
+    : opts_(opts), topo_(std::move(topo)) {}
+
+RunReport RuntimeBackend::run(const Program& program) {
+  rt_ = std::make_unique<Runtime>(opts_);
+  build_runtime(program, *rt_);
+  apply_inits(program, *rt_);
+
+  RunReport rep;
+  rep.backend = "runtime";
+  if (program.policy()) {
+    rep.plan = plan_for(program, topo_, rt_->static_comm_matrix());
+    place::apply_plan(rep.plan, topo_, *rt_);
+    rep.placed = true;
+  }
+
+  WallTimer timer;
+  rt_->run();
+  rep.seconds = timer.seconds();
+  rep.grants = rt_->stats().read_grants() + rt_->stats().write_grants();
+  return rep;
+}
+
+std::vector<std::byte> RuntimeBackend::fetch_bytes(LocationId loc) {
+  ORWL_CHECK_MSG(rt_ != nullptr, "fetch before run()");
+  const std::span<std::byte> data = rt_->location_data(loc);
+  return {data.begin(), data.end()};
+}
+
+Runtime& RuntimeBackend::runtime() {
+  ORWL_CHECK_MSG(rt_ != nullptr, "runtime() before run()");
+  return *rt_;
+}
+
+// --------------------------------------------------------------------------
+// SimBackend
+// --------------------------------------------------------------------------
+
+SimBackend::SimBackend(topo::Topology topo)
+    : topo_(std::move(topo)), cost_(sim::LinkCost::defaults_for(topo_)) {}
+
+SimBackend::SimBackend(topo::Topology topo, sim::LinkCost cost,
+                       SimBackendOptions opts)
+    : topo_(std::move(topo)), cost_(std::move(cost)), opts_(opts) {}
+
+sim::Workload SimBackend::workload(const Program& program) const {
+  const auto& tasks = program.task_decls();
+  const auto& locs = program.location_decls();
+
+  sim::Workload load;
+  load.sync = sim::SyncModel::OrwlEvents;
+  load.threads.resize(tasks.size());
+  load.iterations = 1;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    sim::SimThread& th = load.threads[t];
+    th.flops = tasks[t].flops;
+    th.mem_bytes = tasks[t].mem_bytes;
+    th.acquires = static_cast<int>(tasks[t].accesses.size());
+    load.iterations = std::max(load.iterations, tasks[t].iterations);
+  }
+
+  // Exchange edges: for every location, each (writer, reader) task pair
+  // moves the smaller of the two declared touch extents (a frontier op
+  // reads a whole block but only ships one face).
+  struct Party {
+    int task;
+    double bytes;
+  };
+  std::vector<std::vector<Party>> writers(locs.size()), readers(locs.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    for (const Program::AccessDecl& acc : tasks[t].accesses) {
+      const auto li = static_cast<std::size_t>(acc.location);
+      const double bytes = static_cast<double>(
+          acc.touch_bytes > 0 ? acc.touch_bytes : locs[li].bytes);
+      auto& side = acc.mode == AccessMode::Write ? writers[li] : readers[li];
+      side.push_back({static_cast<int>(t), bytes});
+    }
+  }
+  for (std::size_t li = 0; li < locs.size(); ++li)
+    for (const Party& w : writers[li])
+      for (const Party& r : readers[li]) {
+        if (w.task == r.task) continue;
+        load.edges.push_back({w.task, r.task, std::min(w.bytes, r.bytes)});
+      }
+  return load;
+}
+
+RunReport SimBackend::run(const Program& program) {
+  ORWL_CHECK_MSG(program.num_tasks() > 0, "program has no tasks");
+  const sim::Workload load = workload(program);
+  const int n = program.num_tasks();
+  const int npus = topo_.num_pus();
+
+  RunReport rep;
+  rep.backend = "sim";
+
+  sim::Placement placement;
+  if (program.policy()) {
+    rep.plan = plan_for(program, topo_, program.static_comm_matrix());
+    rep.placed = true;
+    placement.compute_pu = rep.plan.compute_pu;
+    placement.control_pu = rep.plan.control_pu;
+  } else {
+    placement.compute_pu.assign(static_cast<std::size_t>(n), -1);
+    placement.control_pu.assign(static_cast<std::size_t>(n), -1);
+  }
+  // Bound tasks: an unmanaged control thread rides on the compute PU
+  // (mirrors place::apply_plan) and the owner first-touches its own data.
+  // Unbound tasks: the control path stays unmanaged and first touch lands
+  // wherever the OS started the thread (seeded lottery).
+  placement.data_home_pu.resize(static_cast<std::size_t>(n));
+  Xoshiro256 rng(opts_.seed);
+  for (int t = 0; t < n; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    const int cpu = placement.compute_pu[ti];
+    if (cpu >= 0) {
+      if (placement.control_pu[ti] < 0) placement.control_pu[ti] = cpu;
+      placement.data_home_pu[ti] = cpu;
+    } else {
+      placement.data_home_pu[ti] = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(npus)));
+    }
+  }
+
+  last_ = sim::simulate(topo_, cost_, load, placement, opts_.seed);
+  rep.sim = last_;
+  rep.seconds = last_.total_seconds;
+  std::uint64_t acquires = 0;
+  for (const Program::TaskDecl& task : program.task_decls())
+    acquires += static_cast<std::uint64_t>(task.accesses.size()) *
+                static_cast<std::uint64_t>(task.iterations);
+  rep.grants = acquires;
+
+  if (opts_.emulate) {
+    RuntimeOptions ro;
+    ro.control = RuntimeOptions::ControlMode::Direct;
+    emu_rt_ = std::make_unique<Runtime>(ro);
+    build_runtime(program, *emu_rt_);
+    apply_inits(program, *emu_rt_);
+    emu_rt_->run();
+  } else {
+    emu_rt_.reset();
+  }
+  return rep;
+}
+
+std::vector<std::byte> SimBackend::fetch_bytes(LocationId loc) {
+  ORWL_CHECK_MSG(emu_rt_ != nullptr,
+                 "SimBackend::fetch needs SimBackendOptions::emulate and a "
+                 "prior run()");
+  const std::span<std::byte> data = emu_rt_->location_data(loc);
+  return {data.begin(), data.end()};
+}
+
+}  // namespace orwl

@@ -4,7 +4,7 @@
 
 namespace orwl {
 
-Handle::Handle(HandleId id, TaskId task, Location& location, AccessMode mode)
+Handle::Handle(HandleId id, TaskId task, LocationBuffer& location, AccessMode mode)
     : id_(id), task_(task), location_(location), mode_(mode) {
   for (Request& r : slots_) {
     r.mode = mode;
@@ -33,6 +33,11 @@ std::span<std::byte> Handle::acquire() {
   }
   acquired_ = true;
   return location_.data();
+}
+
+std::span<const std::byte> Handle::acquire_const() {
+  const std::span<std::byte> bytes = acquire();
+  return {bytes.data(), bytes.size()};
 }
 
 bool Handle::test() const {

@@ -25,7 +25,7 @@ namespace orwl {
 
 class Handle {
  public:
-  Handle(HandleId id, TaskId task, Location& location, AccessMode mode);
+  Handle(HandleId id, TaskId task, LocationBuffer& location, AccessMode mode);
 
   Handle(const Handle&) = delete;
   Handle& operator=(const Handle&) = delete;
@@ -43,6 +43,12 @@ class Handle {
   /// fine for Write handles; Read handles must not write — enforced in
   /// debug builds by checksumming in tests, not at runtime).
   std::span<std::byte> acquire();
+
+  /// Const acquire path: same blocking semantics as acquire(), but hands
+  /// back a read-only view so Read handles can go straight to
+  /// as_span<const T> without a manual std::span<const std::byte>
+  /// conversion.
+  std::span<const std::byte> acquire_const();
 
   /// Non-blocking poll: true when the grant has been delivered.
   [[nodiscard]] bool test() const;
@@ -66,7 +72,7 @@ class Handle {
 
   HandleId id_;
   TaskId task_;
-  Location& location_;
+  LocationBuffer& location_;
   AccessMode mode_;
 
   Request slots_[2];

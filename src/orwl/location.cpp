@@ -2,7 +2,7 @@
 
 namespace orwl {
 
-Location::Location(LocationId id, std::size_t bytes, std::string name,
+LocationBuffer::LocationBuffer(LocationId id, std::size_t bytes, std::string name,
                    GrantSink on_grant)
     : id_(id),
       name_(std::move(name)),

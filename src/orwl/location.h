@@ -1,6 +1,8 @@
 #pragma once
-// Location: the ORWL abstraction of a shared resource — a byte buffer
-// guarded by an ordered read-write lock (a FifoQueue).
+// LocationBuffer: the runtime-internal ORWL abstraction of a shared
+// resource — a byte buffer guarded by an ordered read-write lock (a
+// FifoQueue). The typed, user-facing view is orwl::Location<T> in
+// orwl/program.h.
 
 #include <atomic>
 #include <cstddef>
@@ -12,14 +14,14 @@
 
 namespace orwl {
 
-class Location {
+class LocationBuffer {
  public:
   /// `bytes` may be zero (pure synchronization location).
-  Location(LocationId id, std::size_t bytes, std::string name,
+  LocationBuffer(LocationId id, std::size_t bytes, std::string name,
            GrantSink on_grant);
 
-  Location(const Location&) = delete;
-  Location& operator=(const Location&) = delete;
+  LocationBuffer(const LocationBuffer&) = delete;
+  LocationBuffer& operator=(const LocationBuffer&) = delete;
 
   [[nodiscard]] LocationId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }

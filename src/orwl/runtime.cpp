@@ -30,7 +30,7 @@ LocationId Runtime::add_location(std::size_t bytes, std::string name) {
   ORWL_CHECK_MSG(!ran_, "cannot add locations after run()");
   const LocationId id = static_cast<LocationId>(locations_.size());
   if (name.empty()) name = "loc" + std::to_string(id);
-  locations_.push_back(std::make_unique<Location>(
+  locations_.push_back(std::make_unique<LocationBuffer>(
       id, bytes, std::move(name),
       [this](Request& req) { dispatch_grant(req); }));
   return id;
@@ -105,7 +105,7 @@ std::size_t Runtime::location_size(LocationId loc) const {
 void Runtime::dispatch_grant(Request& req) {
   // Called with the location queue lock held — keep it lean.
   stats_.record_grant(req.mode);
-  Location& loc = *locations_[static_cast<std::size_t>(req.location)];
+  LocationBuffer& loc = *locations_[static_cast<std::size_t>(req.location)];
   if (opts_.record_flows) {
     if (req.mode == AccessMode::Read) {
       stats_.record_flow(loc.last_writer(), req.owner, loc.size());

@@ -3,7 +3,15 @@
 // whole ORWL program. This is the decentralized event-based runtime of the
 // paper plus the binding hooks the placement module drives.
 //
-// Typical use:
+// NOTE FOR NEWCOMERS: this is the low-level, byte-span layer. Applications
+// should normally be written against the typed orwl::Program front-end
+// (orwl/program.h) — typed locations, fluent task declarations, sections
+// that renew themselves — and executed through a Backend (orwl/backend.h),
+// which drives this Runtime (or the simulator) for you, placement
+// included. The raw API below stays supported for runtime-internal work
+// and for code that needs manual handle control.
+//
+// Typical (low-level) use:
 //   Runtime rt;
 //   auto data  = rt.add_location(nbytes, "block0");
 //   auto t     = rt.add_task("main0", body);
@@ -131,7 +139,7 @@ class Runtime {
   void shared_control_loop(int pool_index);
 
   RuntimeOptions opts_;
-  std::vector<std::unique_ptr<Location>> locations_;
+  std::vector<std::unique_ptr<LocationBuffer>> locations_;
   std::vector<TaskRec> tasks_;
   std::vector<std::unique_ptr<Handle>> handles_;
   std::vector<HandleId> prime_order_;

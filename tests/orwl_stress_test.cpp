@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "orwl/runtime.h"
 
@@ -80,10 +82,24 @@ TEST_P(StressTest, ReadersOverlapWritersDoNot) {
       for (int round = 0; round < kRounds; ++round) {
         h.acquire();
         readers_inside.fetch_add(1);
-        // Widen the observation window so concurrent read grants are
-        // actually observed overlapping.
-        for (int spin = 0; spin < 2000; ++spin)
-          asm volatile("" : : : "memory");
+        if (round == 0) {
+          // All first-round reads are granted together after the writer's
+          // first release. Wait (bounded) for a peer inside its grant: this
+          // can only succeed when read grants are genuinely shared, and it
+          // works on single-PU hosts where a fixed spin window never
+          // catches a preemption. If reads were serialized the deadline
+          // expires and max_readers stays 1.
+          const auto deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(2);
+          while (readers_inside.load() < 2 &&
+                 std::chrono::steady_clock::now() < deadline)
+            std::this_thread::yield();
+        } else {
+          // Widen the observation window so concurrent read grants are
+          // actually observed overlapping.
+          for (int spin = 0; spin < 2000; ++spin)
+            asm volatile("" : : : "memory");
+        }
         const int now = readers_inside.load();
         int prev = max_readers.load();
         while (now > prev && !max_readers.compare_exchange_weak(prev, now)) {
