@@ -1,111 +1,69 @@
-// Table D (micro): ORWL runtime overhead, measured natively with
-// google-benchmark — FIFO queue operations, grant cycles in both control
-// modes, contended queues, and shared-read grants.
+// Table D (micro): ORWL runtime overhead, measured natively — FIFO queue
+// operations, grant cycles in both control modes, contended queues, and
+// shared-read grants. Timing, repetition and JSON emission go through the
+// shared harness (median/MAD over R repetitions after warmup) instead of
+// google-benchmark, so the bench builds everywhere and its output matches
+// the BENCH_*.json layout of the other drivers.
+//
+//   micro_orwl_overhead [--reps R] [--warmup W] [--json PATH]
 
-#include <benchmark/benchmark.h>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
 
+#include "harness/bench.h"
+#include "harness/json.h"
+#include "harness/stats.h"
 #include "orwl/runtime.h"
+#include "support/table.h"
+#include "support/time.h"
 
 namespace {
 
 using namespace orwl;
 
+/// One micro scenario: a callable that performs `items` operations and
+/// returns the elapsed seconds.
+struct Micro {
+  std::string name;
+  double items = 0;
+  std::function<double()> once;
+};
+
 // Raw queue cycle: insert -> (granted) -> release_and_renew, no threads.
-void BM_QueueRenewCycle(benchmark::State& state) {
-  int grants = 0;
-  FifoQueue q([&](Request&) { ++grants; });
-  Request slots[2];
-  slots[0].mode = AccessMode::Write;
-  slots[1].mode = AccessMode::Write;
-  q.insert(slots[0]);
-  int cur = 0;
-  for (auto _ : state) {
-    q.release_and_renew(slots[cur], slots[cur ^ 1]);
-    cur ^= 1;
-  }
-  benchmark::DoNotOptimize(grants);
-  state.SetItemsProcessed(state.iterations());
+Micro queue_renew_cycle() {
+  const int cycles = 200000;
+  return {"queue_renew_cycle", static_cast<double>(cycles), [cycles] {
+            int grants = 0;
+            FifoQueue q([&](Request&) { ++grants; });
+            Request slots[2];
+            slots[0].mode = AccessMode::Write;
+            slots[1].mode = AccessMode::Write;
+            q.insert(slots[0]);
+            int cur = 0;
+            WallTimer timer;
+            for (int i = 0; i < cycles; ++i) {
+              q.release_and_renew(slots[cur], slots[cur ^ 1]);
+              cur ^= 1;
+            }
+            const double s = timer.seconds();
+            (void)grants;
+            return s;
+          }};
 }
-BENCHMARK(BM_QueueRenewCycle);
 
-// End-to-end grant latency: two tasks alternate on one location; measures
-// a full request->control->deliver->acquire->release cycle.
-void BM_RuntimeAlternation(benchmark::State& state) {
-  const bool per_task_control = state.range(0) != 0;
-  const int rounds = 2000;
-  for (auto _ : state) {
-    RuntimeOptions opts;
-    opts.control = per_task_control
-                       ? RuntimeOptions::ControlMode::PerTask
-                       : RuntimeOptions::ControlMode::Direct;
-    opts.record_flows = false;
-    Runtime rt(opts);
-    const LocationId loc = rt.add_location(64);
-    for (int i = 0; i < 2; ++i) {
-      rt.add_task("t" + std::to_string(i), [i](TaskContext& ctx) {
-        Handle& h = ctx.handle(i);
-        for (int r = 0; r < rounds; ++r) {
-          h.acquire();
-          if (r + 1 == rounds)
-            h.release();
-          else
-            h.release_and_renew();
-        }
-      });
-    }
-    rt.add_handle(0, loc, AccessMode::Write);
-    rt.add_handle(1, loc, AccessMode::Write);
-    rt.run();
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * rounds);
-  state.SetLabel(per_task_control ? "control-threads" : "direct");
-}
-BENCHMARK(BM_RuntimeAlternation)->Arg(0)->Arg(1)->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
-
-// Contended location: N writers round-robin.
-void BM_RuntimeContention(benchmark::State& state) {
-  const int writers = static_cast<int>(state.range(0));
-  const int rounds = 500;
-  for (auto _ : state) {
-    RuntimeOptions opts;
-    opts.control = RuntimeOptions::ControlMode::Direct;
-    opts.record_flows = false;
-    Runtime rt(opts);
-    const LocationId loc = rt.add_location(64);
-    for (int i = 0; i < writers; ++i) {
-      rt.add_task("w" + std::to_string(i), [i](TaskContext& ctx) {
-        Handle& h = ctx.handle(i);
-        for (int r = 0; r < rounds; ++r) {
-          h.acquire();
-          if (r + 1 == rounds)
-            h.release();
-          else
-            h.release_and_renew();
-        }
-      });
-    }
-    for (int i = 0; i < writers; ++i)
-      rt.add_handle(i, loc, AccessMode::Write);
-    rt.run();
-  }
-  state.SetItemsProcessed(state.iterations() * writers * rounds);
-}
-BENCHMARK(BM_RuntimeContention)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
-
-// Shared reads: one writer, N readers per round.
-void BM_RuntimeSharedReads(benchmark::State& state) {
-  const int readers = static_cast<int>(state.range(0));
-  const int rounds = 500;
-  for (auto _ : state) {
-    RuntimeOptions opts;
-    opts.control = RuntimeOptions::ControlMode::Direct;
-    opts.record_flows = false;
-    Runtime rt(opts);
-    const LocationId loc = rt.add_location(4096);
-    rt.add_task("w", [](TaskContext& ctx) {
-      Handle& h = ctx.handle(0);
+/// N writer tasks round-robin on one location for `rounds` grants each.
+double run_writers(RuntimeOptions::ControlMode mode, int writers, int rounds) {
+  RuntimeOptions opts;
+  opts.control = mode;
+  opts.record_flows = false;
+  Runtime rt(opts);
+  const LocationId loc = rt.add_location(64);
+  for (int i = 0; i < writers; ++i) {
+    rt.add_task("w" + std::to_string(i), [i, rounds](TaskContext& ctx) {
+      Handle& h = ctx.handle(i);
       for (int r = 0; r < rounds; ++r) {
         h.acquire();
         if (r + 1 == rounds)
@@ -114,28 +72,140 @@ void BM_RuntimeSharedReads(benchmark::State& state) {
           h.release_and_renew();
       }
     });
-    for (int i = 0; i < readers; ++i) {
-      rt.add_task("r" + std::to_string(i), [i](TaskContext& ctx) {
-        Handle& h = ctx.handle(1 + i);
-        for (int r = 0; r < rounds; ++r) {
-          h.acquire();
-          if (r + 1 == rounds)
-            h.release();
-          else
-            h.release_and_renew();
-        }
-      });
-    }
-    rt.add_handle(0, loc, AccessMode::Write);
-    for (int i = 0; i < readers; ++i)
-      rt.add_handle(1 + i, loc, AccessMode::Read);
-    rt.run();
   }
-  state.SetItemsProcessed(state.iterations() * (readers + 1) * rounds);
+  for (int i = 0; i < writers; ++i) rt.add_handle(i, loc, AccessMode::Write);
+  WallTimer timer;
+  rt.run();
+  return timer.seconds();
 }
-BENCHMARK(BM_RuntimeSharedReads)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
+
+// End-to-end grant latency: two tasks alternate on one location; a full
+// request->control->deliver->acquire->release cycle per item.
+Micro runtime_alternation(bool per_task_control) {
+  const int rounds = 2000;
+  const auto mode = per_task_control ? RuntimeOptions::ControlMode::PerTask
+                                     : RuntimeOptions::ControlMode::Direct;
+  return {std::string("runtime_alternation/") +
+              (per_task_control ? "control-threads" : "direct"),
+          2.0 * rounds,
+          [mode, rounds] { return run_writers(mode, 2, rounds); }};
+}
+
+Micro runtime_contention(int writers) {
+  const int rounds = 500;
+  return {"runtime_contention/" + std::to_string(writers),
+          static_cast<double>(writers) * rounds, [writers, rounds] {
+            return run_writers(RuntimeOptions::ControlMode::Direct, writers,
+                               rounds);
+          }};
+}
+
+// Shared reads: one writer, N readers per round.
+Micro runtime_shared_reads(int readers) {
+  const int rounds = 500;
+  return {"runtime_shared_reads/" + std::to_string(readers),
+          static_cast<double>(readers + 1) * rounds, [readers, rounds] {
+            RuntimeOptions opts;
+            opts.control = RuntimeOptions::ControlMode::Direct;
+            opts.record_flows = false;
+            Runtime rt(opts);
+            const LocationId loc = rt.add_location(4096);
+            const auto body = [rounds](Handle& h) {
+              for (int r = 0; r < rounds; ++r) {
+                h.acquire();
+                if (r + 1 == rounds)
+                  h.release();
+                else
+                  h.release_and_renew();
+              }
+            };
+            rt.add_task("w", [&body](TaskContext& ctx) {
+              body(ctx.handle(0));
+            });
+            for (int i = 0; i < readers; ++i)
+              rt.add_task("r" + std::to_string(i), [&body, i](TaskContext& ctx) {
+                body(ctx.handle(1 + i));
+              });
+            rt.add_handle(0, loc, AccessMode::Write);
+            for (int i = 0; i < readers; ++i)
+              rt.add_handle(1 + i, loc, AccessMode::Read);
+            WallTimer timer;
+            rt.run();
+            return timer.seconds();
+          }};
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int reps = 5, warmup = 1;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
+    else if (a == "--warmup" && i + 1 < argc) warmup = std::atoi(argv[++i]);
+    else if (a == "--json" && i + 1 < argc) json_path = argv[++i];
+    else {
+      std::cerr << "usage: " << argv[0]
+                << " [--reps R] [--warmup W] [--json PATH]\n";
+      return 2;
+    }
+  }
+  if (reps < 1 || warmup < 0) {
+    std::cerr << "need --reps >= 1 and --warmup >= 0 (got reps=" << reps
+              << ", warmup=" << warmup << ")\n";
+    return 2;
+  }
+
+  std::vector<Micro> micros;
+  micros.push_back(queue_renew_cycle());
+  micros.push_back(runtime_alternation(false));
+  micros.push_back(runtime_alternation(true));
+  for (int n : {2, 4, 8}) micros.push_back(runtime_contention(n));
+  for (int n : {2, 4, 8}) micros.push_back(runtime_shared_reads(n));
+
+  struct Row {
+    Micro micro;
+    harness::Stats stats;
+  };
+  std::vector<Row> rows;
+  Table table({"benchmark", "time (median ±MAD)", "items/s"});
+  for (Micro& micro : micros) {
+    const harness::Stats stats = harness::sample(warmup, reps, micro.once);
+    table.add_row({micro.name,
+                   format_seconds(stats.median) + " ±" +
+                       format_seconds(stats.mad),
+                   fmt(stats.median > 0 ? micro.items / stats.median : 0.0,
+                       0)});
+    rows.push_back({micro, stats});
+  }
+  table.print(std::cout);
+
+  if (!json_path.empty()) {
+    std::cout << '\n';
+    const bool ok = harness::write_bench_file(
+        json_path, "micro_orwl_overhead",
+        [&](harness::JsonWriter& json) {
+          json.member("repetitions", reps);
+          json.member("warmup", warmup);
+        },
+        [&](harness::JsonWriter& json) {
+          for (const Row& row : rows) {
+            json.begin_object();
+            json.member("name", row.micro.name);
+            json.member("items", row.micro.items);
+            json.member("seconds_median", row.stats.median);
+            json.member("seconds_mad", row.stats.mad);
+            json.member("seconds_min", row.stats.min);
+            json.member("seconds_max", row.stats.max);
+            json.member("items_per_second",
+                        row.stats.median > 0
+                            ? row.micro.items / row.stats.median
+                            : 0.0);
+            json.end_object();
+          }
+        });
+    if (!ok) return 1;
+  }
+  return 0;
+}

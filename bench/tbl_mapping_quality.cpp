@@ -1,15 +1,20 @@
 // Table A (ablation): mapping quality of the placement policies across
 // workload patterns and topologies. Reports hop-bytes (lower = better
 // locality), the fraction of traffic kept inside a package, and the
-// simulated iteration time of the resulting placement.
+// simulated iteration time of the resulting placement. The simulated
+// exchange timing and the JSON emission come from the shared harness
+// instead of a hand-rolled sim::Workload loop.
+//
+//   tbl_mapping_quality [--json PATH]
 
 #include <cmath>
 #include <iostream>
 
 #include "comm/metrics.h"
 #include "comm/patterns.h"
+#include "harness/bench.h"
+#include "harness/json.h"
 #include "place/placement.h"
-#include "sim/simulator.h"
 #include "support/table.h"
 #include "support/time.h"
 
@@ -22,35 +27,31 @@ struct Pattern {
   comm::CommMatrix matrix;
 };
 
-// Simulate one iteration of a communication-bound exchange workload under
-// a mapping (light compute, 1024 exchanges per iteration so placement
-// differences are visible in the time column).
-double sim_time(const topo::Topology& topo, const comm::CommMatrix& m,
-                const comm::Mapping& mapping) {
-  const sim::LinkCost cost = sim::LinkCost::defaults_for(topo);
-  sim::Workload load;
-  const int n = m.order();
-  for (int i = 0; i < n; ++i) load.threads.push_back({1e5, 1e5, 0});
-  for (int i = 0; i < n; ++i)
-    for (int j = i + 1; j < n; ++j)
-      if (m.at(i, j) > 0)
-        load.edges.push_back({i, j, 1024.0 * m.at(i, j)});
-  sim::Placement place;
-  place.compute_pu = mapping;
-  place.control_pu.assign(static_cast<std::size_t>(n), -1);
-  place.data_home_pu = mapping;
-  for (auto& pu : place.data_home_pu)
-    if (pu < 0) pu = 0;
-  // Unbound entries would be random; pin them for a deterministic table.
-  for (auto& pu : place.compute_pu)
-    if (pu < 0) pu = 0;
-  return sim::simulate(topo, cost, load, place).total_seconds;
-}
+struct Row {
+  std::string topo;
+  std::string pattern;
+  place::Policy policy;
+  double hop_bytes = 0.0;
+  double package_local = 0.0;
+  double sim_seconds = 0.0;
+  double vs_treematch = 0.0;
+};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) json_path = argv[++i];
+    else {
+      std::cerr << "usage: " << argv[0] << " [--json PATH]\n";
+      return 2;
+    }
+  }
+
   const char* topo_specs[] = {"pack:4 core:8 pu:1", "pack:24 core:8 pu:1"};
+  std::vector<Row> rows;
 
   for (const char* spec : topo_specs) {
     const auto topo = topo::Topology::synthetic(spec);
@@ -77,7 +78,6 @@ int main() {
                    "vs treematch"});
       const int pkg_depth = 1;
       double tm_time = 0.0;
-      std::vector<std::pair<place::Policy, std::string>> rows;
       for (place::Policy policy :
            {place::Policy::TreeMatch, place::Policy::Compact,
             place::Policy::Scatter, place::Policy::Random}) {
@@ -85,20 +85,49 @@ int main() {
         tm_opts.manage_control_threads = false;
         const place::Plan plan =
             place::compute_plan(policy, topo, pat.matrix, tm_opts);
-        const double hb = comm::hop_bytes(topo, pat.matrix, plan.compute_pu);
-        const double local = comm::locality_fraction(
+        Row row;
+        row.topo = spec;
+        row.pattern = pat.name;
+        row.policy = policy;
+        row.hop_bytes = comm::hop_bytes(topo, pat.matrix, plan.compute_pu);
+        row.package_local = comm::locality_fraction(
             topo, pat.matrix, plan.compute_pu, pkg_depth);
-        const double t = sim_time(topo, pat.matrix, plan.compute_pu);
-        if (policy == place::Policy::TreeMatch) tm_time = t;
-        table.add_row({place::to_string(policy), orwl::fmt(hb / 1024.0, 1),
-                       orwl::fmt(100.0 * local, 1),
-                       orwl::format_seconds(t),
-                       orwl::fmt(t / tm_time, 2)});
+        row.sim_seconds =
+            harness::simulated_exchange_seconds(topo, pat.matrix,
+                                                plan.compute_pu);
+        if (policy == place::Policy::TreeMatch) tm_time = row.sim_seconds;
+        row.vs_treematch = tm_time > 0.0 ? row.sim_seconds / tm_time : 0.0;
+        table.add_row({place::to_string(policy),
+                       orwl::fmt(row.hop_bytes / 1024.0, 1),
+                       orwl::fmt(100.0 * row.package_local, 1),
+                       orwl::format_seconds(row.sim_seconds),
+                       orwl::fmt(row.vs_treematch, 2)});
+        rows.push_back(row);
       }
       std::cout << "--- pattern: " << pat.name << " ---\n";
       table.print(std::cout);
       std::cout << '\n';
     }
   }
+
+  if (!json_path.empty() &&
+      !harness::write_bench_file(
+          json_path, "tbl_mapping_quality", nullptr,
+          [&](harness::JsonWriter& json) {
+            for (const Row& row : rows) {
+              json.begin_object();
+              json.member("name", row.topo + "/" + row.pattern + "/" +
+                                      place::to_string(row.policy));
+              json.member("topology", row.topo);
+              json.member("pattern", row.pattern);
+              json.member("policy", place::to_string(row.policy));
+              json.member("hop_bytes", row.hop_bytes);
+              json.member("package_local_fraction", row.package_local);
+              json.member("sim_seconds_per_iteration", row.sim_seconds);
+              json.member("vs_treematch", row.vs_treematch);
+              json.end_object();
+            }
+          }))
+    return 1;
   return 0;
 }

@@ -1,0 +1,297 @@
+#include "harness/bench.h"
+
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <utility>
+
+#include "harness/json.h"
+#include "orwl/backend.h"
+#include "sim/simulator.h"
+#include "support/assert.h"
+#include "topo/topology.h"
+
+#include <unistd.h>  // gethostname
+
+namespace orwl::harness {
+
+namespace {
+
+topo::Topology sim_topology(const CaseSpec& spec) {
+  return spec.topo_spec.empty() ? topo::Topology::paper_machine()
+                                : topo::Topology::synthetic(spec.topo_spec);
+}
+
+std::unique_ptr<Backend> make_backend(const CaseSpec& spec,
+                                      bool need_emulation) {
+  if (spec.backend == "runtime") return std::make_unique<RuntimeBackend>();
+  if (spec.backend == "sim") {
+    topo::Topology topo = sim_topology(spec);
+    const sim::LinkCost cost = sim::LinkCost::defaults_for(topo);
+    SimBackendOptions opts;
+    opts.emulate = need_emulation;
+    opts.seed = spec.seed;
+    return std::make_unique<SimBackend>(std::move(topo), cost, opts);
+  }
+  ORWL_CHECK_MSG(false, "unknown backend '" << spec.backend
+                                            << "'; use 'runtime' or 'sim'");
+  return nullptr;  // unreachable
+}
+
+/// The measured communication-flow matrix of the backend's latest run.
+comm::CommMatrix measured_matrix(Backend& backend) {
+  Runtime* rt = backend.instrumented_runtime();
+  ORWL_CHECK_MSG(rt != nullptr,
+                 "backend has no instrumented runtime to measure flows "
+                 "(sim backend without emulation?)");
+  return rt->measured_comm_matrix();
+}
+
+std::string iso_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string host_name() {
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf;
+}
+
+void write_stats(JsonWriter& json, const std::string& prefix,
+                 const Stats& s) {
+  json.member(prefix + "_median", s.median);
+  json.member(prefix + "_mad", s.mad);
+  json.member(prefix + "_mean", s.mean);
+  json.member(prefix + "_min", s.min);
+  json.member(prefix + "_max", s.max);
+}
+
+/// The one BENCH_*.json document shape: context + benchmarks array.
+void emit_document(std::ostream& os, const std::string& bench,
+                   const std::function<void(JsonWriter&)>& context_extra,
+                   const std::function<void(JsonWriter&)>& benchmarks) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.begin_object("context");
+  json.member("bench", bench);
+  json.member("date", iso_utc_now());
+  json.member("host_name", host_name());
+  json.member("harness_schema", 1);
+  if (context_extra) context_extra(json);
+  json.end_object();
+  json.begin_array("benchmarks");
+  if (benchmarks) benchmarks(json);
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+}  // namespace
+
+std::string case_name(const CaseSpec& spec) {
+  return spec.workload + "/" + spec.backend + "/" +
+         place::to_string(spec.policy) + (spec.feedback ? "/feedback" : "");
+}
+
+CaseResult run_case(const CaseSpec& spec) {
+  const workloads::Workload& wl = workloads::get(spec.workload);
+  ORWL_CHECK_MSG(spec.repetitions >= 1, "need at least one repetition");
+  ORWL_CHECK_MSG(spec.warmup >= 0, "negative warmup count");
+
+  CaseResult res;
+  res.spec = spec;
+  // Feedback needs the instrumented flow matrix, verification the location
+  // contents. The timing backend never emulates — sim predictions come
+  // from the analytic model, so executing the bodies on every repetition
+  // would cost full native runs for nothing. When needed, a separate
+  // emulating backend executes ONCE per phase to supply fetchable state.
+  const bool need_fetch = spec.verify || spec.feedback;
+  const std::unique_ptr<Backend> timing = make_backend(spec, false);
+  std::unique_ptr<Backend> emulated;
+  Backend* fetcher = timing.get();
+  if (need_fetch && spec.backend == "sim") {
+    emulated = make_backend(spec, true);
+    fetcher = emulated.get();
+  }
+
+  workloads::Built built;
+  const auto run_on = [&](Backend& backend, place::Policy policy,
+                          const std::optional<comm::CommMatrix>& matrix) {
+    Program p;
+    built = wl.build(p, spec.params);
+    p.place(policy, {}, spec.seed);
+    if (matrix) p.place_using(*matrix);
+    const RunReport rep = p.run(backend);
+    res.grants = rep.grants;
+    res.placed = rep.placed;
+    return rep.seconds;
+  };
+
+  // `fetch_run`: whether anything will actually read the fetcher's state
+  // after this phase — skip the (expensive, native) emulated execution
+  // otherwise.
+  const auto time_phase = [&](place::Policy policy,
+                              const std::optional<comm::CommMatrix>& matrix,
+                              bool fetch_run) -> Stats {
+    const Stats stats = sample(spec.warmup, spec.repetitions, [&] {
+      return run_on(*timing, policy, matrix);
+    });
+    if (fetch_run && fetcher != timing.get())
+      run_on(*fetcher, policy, matrix);
+    return stats;
+  };
+
+  const auto check = [&](std::string& error) {
+    std::string why;
+    if (built.verify(*fetcher, why)) return true;
+    error = why;
+    return false;
+  };
+
+  // Phase 1: the requested policy on the workload's STATIC pattern.
+  res.time = time_phase(spec.policy, std::nullopt, need_fetch);
+  res.num_tasks = built.num_tasks;
+  if (spec.verify) {
+    res.verify_ran = true;
+    res.verified = check(res.verify_error);
+  }
+
+  // Phase 2 (feedback): re-place with TreeMatch on the flow matrix the
+  // runtime MEASURED during phase 1, and re-run — Algorithm 1 fed by
+  // instrumentation instead of the declared pattern.
+  if (spec.feedback) {
+    const comm::CommMatrix measured = measured_matrix(*fetcher);
+    res.feedback.measured_bytes = measured.total_volume();
+    // Only verification reads the fetcher after this phase.
+    res.feedback.time = time_phase(place::Policy::TreeMatch, measured,
+                                   spec.verify && res.verified);
+    res.feedback.ran = true;
+    res.feedback.speedup = res.feedback.time.median > 0.0
+                               ? res.time.median / res.feedback.time.median
+                               : 0.0;
+    if (spec.verify && res.verified) {
+      std::string why;
+      if (!check(why)) {
+        res.verified = false;
+        res.verify_error = "feedback run: " + why;
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<CaseResult> run_sweep(const CaseSpec& base,
+                                  const std::vector<place::Policy>& policies,
+                                  const std::vector<std::string>& backends) {
+  std::vector<CaseResult> out;
+  out.reserve(policies.size() * backends.size());
+  for (const std::string& backend : backends) {
+    for (const place::Policy policy : policies) {
+      CaseSpec spec = base;
+      spec.backend = backend;
+      spec.policy = policy;
+      out.push_back(run_case(spec));
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& os, const std::vector<CaseResult>& results) {
+  emit_document(os, "orwl_bench", nullptr, [&results](JsonWriter& json) {
+    for (const CaseResult& r : results) {
+      json.begin_object();
+      json.member("name", case_name(r.spec));
+      json.member("workload", r.spec.workload);
+      json.member("backend", r.spec.backend);
+      json.member("policy", place::to_string(r.spec.policy));
+      json.member("topology", r.spec.backend == "runtime"
+                                  ? std::string("host")
+                                  : (r.spec.topo_spec.empty()
+                                         ? std::string("paper_machine")
+                                         : r.spec.topo_spec));
+      json.member("tasks", r.spec.params.tasks);
+      json.member("size", r.spec.params.size);
+      json.member("iterations", r.spec.params.iterations);
+      json.member("num_tasks", r.num_tasks);
+      json.member("warmup", r.spec.warmup);
+      json.member("repetitions", r.spec.repetitions);
+      json.member("grants", r.grants);
+      json.member("placed", r.placed);
+      write_stats(json, "seconds", r.time);
+      json.member("verify_ran", r.verify_ran);
+      json.member("verified", r.verified);
+      if (!r.verify_error.empty())
+        json.member("verify_error", r.verify_error);
+      if (r.feedback.ran) {
+        json.begin_object("feedback");
+        write_stats(json, "seconds", r.feedback.time);
+        json.member("speedup_vs_static", r.feedback.speedup);
+        json.member("measured_bytes", r.feedback.measured_bytes);
+        json.end_object();
+      } else {
+        json.null_member("feedback");
+      }
+      json.end_object();
+    }
+  });
+}
+
+bool write_json_file(const std::string& path,
+                     const std::vector<CaseResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return false;
+  }
+  write_json(out, results);
+  std::cout << "wrote " << path << '\n';
+  return true;
+}
+
+bool write_bench_file(const std::string& path, const std::string& bench,
+                      const std::function<void(JsonWriter&)>& context_extra,
+                      const std::function<void(JsonWriter&)>& benchmarks) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return false;
+  }
+  emit_document(out, bench, context_extra, benchmarks);
+  std::cout << "wrote " << path << '\n';
+  return true;
+}
+
+double simulated_exchange_seconds(const topo::Topology& topo,
+                                  const comm::CommMatrix& m,
+                                  const std::vector<int>& mapping,
+                                  double exchanges_per_iteration) {
+  const sim::LinkCost cost = sim::LinkCost::defaults_for(topo);
+  sim::Workload load;
+  const int n = m.order();
+  for (int i = 0; i < n; ++i) load.threads.push_back({1e5, 1e5, 0});
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (m.at(i, j) > 0)
+        load.edges.push_back({i, j, exchanges_per_iteration * m.at(i, j)});
+  sim::Placement place;
+  place.compute_pu = mapping;
+  place.control_pu.assign(static_cast<std::size_t>(n), -1);
+  place.data_home_pu = mapping;
+  // Unbound entries would be re-placed randomly; pin them to PU 0 so the
+  // quality tables stay deterministic.
+  for (auto& pu : place.compute_pu)
+    if (pu < 0) pu = 0;
+  for (auto& pu : place.data_home_pu)
+    if (pu < 0) pu = 0;
+  return sim::simulate(topo, cost, load, place).total_seconds;
+}
+
+}  // namespace orwl::harness

@@ -1,0 +1,176 @@
+#include "harness/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/assert.h"
+
+namespace orwl::harness {
+
+JsonWriter::~JsonWriter() { os_.flush(); }
+
+void JsonWriter::comma_and_indent() {
+  if (stack_.empty()) return;  // top-level value
+  if (!first_in_scope_) os_ << ',';
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  first_in_scope_ = false;
+}
+
+void JsonWriter::key_prefix(const std::string& key) {
+  ORWL_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::Object,
+                 "JSON key '" << key << "' outside an object");
+  comma_and_indent();
+  os_ << '"' << escape(key) << "\": ";
+}
+
+void JsonWriter::begin_object() {
+  if (!stack_.empty()) {
+    ORWL_CHECK_MSG(stack_.back() == Scope::Array,
+                   "anonymous object inside an object — use the key form");
+    comma_and_indent();
+  }
+  os_ << '{';
+  stack_.push_back(Scope::Object);
+  first_in_scope_ = true;
+}
+
+void JsonWriter::begin_object(const std::string& key) {
+  key_prefix(key);
+  os_ << '{';
+  stack_.push_back(Scope::Object);
+  first_in_scope_ = true;
+}
+
+void JsonWriter::end_object() {
+  ORWL_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::Object,
+                 "end_object without begin_object");
+  const bool empty = first_in_scope_;
+  stack_.pop_back();
+  if (!empty) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+  os_ << '}';
+  first_in_scope_ = false;
+}
+
+void JsonWriter::begin_array() {
+  if (!stack_.empty()) {
+    ORWL_CHECK_MSG(stack_.back() == Scope::Array,
+                   "anonymous array inside an object — use the key form");
+    comma_and_indent();
+  }
+  os_ << '[';
+  stack_.push_back(Scope::Array);
+  first_in_scope_ = true;
+}
+
+void JsonWriter::begin_array(const std::string& key) {
+  key_prefix(key);
+  os_ << '[';
+  stack_.push_back(Scope::Array);
+  first_in_scope_ = true;
+}
+
+void JsonWriter::end_array() {
+  ORWL_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::Array,
+                 "end_array without begin_array");
+  const bool empty = first_in_scope_;
+  stack_.pop_back();
+  if (!empty) {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+  os_ << ']';
+  first_in_scope_ = false;
+}
+
+void JsonWriter::write_number(double v) {
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+}
+
+void JsonWriter::member(const std::string& key, const std::string& value) {
+  key_prefix(key);
+  os_ << '"' << escape(value) << '"';
+}
+
+void JsonWriter::member(const std::string& key, const char* value) {
+  member(key, std::string(value));
+}
+
+void JsonWriter::member(const std::string& key, double value) {
+  key_prefix(key);
+  write_number(value);
+}
+
+void JsonWriter::member(const std::string& key, std::uint64_t value) {
+  key_prefix(key);
+  os_ << value;
+}
+
+void JsonWriter::member(const std::string& key, int value) {
+  key_prefix(key);
+  os_ << value;
+}
+
+void JsonWriter::member(const std::string& key, long value) {
+  key_prefix(key);
+  os_ << value;
+}
+
+void JsonWriter::member(const std::string& key, bool value) {
+  key_prefix(key);
+  os_ << (value ? "true" : "false");
+}
+
+void JsonWriter::null_member(const std::string& key) {
+  key_prefix(key);
+  os_ << "null";
+}
+
+void JsonWriter::element(const std::string& value) {
+  ORWL_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::Array,
+                 "array element outside an array");
+  comma_and_indent();
+  os_ << '"' << escape(value) << '"';
+}
+
+void JsonWriter::element(double value) {
+  ORWL_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::Array,
+                 "array element outside an array");
+  comma_and_indent();
+  write_number(value);
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace orwl::harness

@@ -1,0 +1,59 @@
+#pragma once
+// Minimal streaming JSON writer for the benchmark harness — enough to emit
+// the BENCH_*.json result files (objects, arrays, escaped strings, finite
+// numbers) without an external dependency. Output is pretty-printed with
+// two-space indentation and is always syntactically valid as long as the
+// begin/end calls nest correctly (enforced with ORWL_CHECK).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace orwl::harness {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // Containers. The key-taking forms are for members of an object.
+  void begin_object();
+  void begin_object(const std::string& key);
+  void end_object();
+  void begin_array();
+  void begin_array(const std::string& key);
+  void end_array();
+
+  // Object members.
+  void member(const std::string& key, const std::string& value);
+  void member(const std::string& key, const char* value);
+  void member(const std::string& key, double value);
+  void member(const std::string& key, std::uint64_t value);
+  void member(const std::string& key, int value);
+  void member(const std::string& key, long value);
+  void member(const std::string& key, bool value);
+  void null_member(const std::string& key);
+
+  // Array elements.
+  void element(const std::string& value);
+  void element(double value);
+
+  /// JSON string escaping, exposed for tests.
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Scope { Object, Array };
+  void comma_and_indent();
+  void key_prefix(const std::string& key);
+  void write_number(double v);
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  bool first_in_scope_ = true;
+};
+
+}  // namespace orwl::harness

@@ -1,0 +1,49 @@
+#include "harness/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace orwl::harness {
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
+                   values.end());
+  const double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(values.begin(), values.begin() + static_cast<long>(mid));
+  return 0.5 * (lo + hi);
+}
+
+Stats sample(int warmup, int repetitions,
+             const std::function<double()>& once) {
+  std::vector<double> kept;
+  kept.reserve(static_cast<std::size_t>(repetitions > 0 ? repetitions : 0));
+  for (int i = 0; i < warmup + repetitions; ++i) {
+    const double seconds = once();
+    if (i >= warmup) kept.push_back(seconds);
+  }
+  return summarize(kept);
+}
+
+Stats summarize(const std::vector<double>& samples) {
+  Stats s;
+  if (samples.empty()) return s;
+  s.samples = static_cast<int>(samples.size());
+  s.median = median_of(samples);
+  std::vector<double> dev;
+  dev.reserve(samples.size());
+  for (const double v : samples)
+    dev.push_back(v > s.median ? v - s.median : s.median - v);
+  s.mad = median_of(std::move(dev));
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  s.min = *lo;
+  s.max = *hi;
+  return s;
+}
+
+}  // namespace orwl::harness

@@ -1,0 +1,34 @@
+#pragma once
+// Robust summary statistics for benchmark samples. The harness reports
+// median and MAD (median absolute deviation) rather than mean/stddev so a
+// single noisy repetition — a scheduler hiccup, a cold cache — cannot drag
+// the headline number.
+
+#include <functional>
+#include <vector>
+
+namespace orwl::harness {
+
+struct Stats {
+  int samples = 0;
+  double median = 0.0;
+  double mad = 0.0;  ///< median absolute deviation from the median
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Median of `values`; 0 when empty. Even counts average the two middle
+/// elements.
+double median_of(std::vector<double> values);
+
+/// Full summary of a sample set; all-zero Stats when empty.
+Stats summarize(const std::vector<double>& samples);
+
+/// The canonical sampling loop: invoke `once` (which returns elapsed
+/// seconds) `warmup + repetitions` times, discard the warmup results, and
+/// summarize the rest. Every bench driver samples through this so the
+/// semantics (what warmup means, what gets kept) live in one place.
+Stats sample(int warmup, int repetitions, const std::function<double()>& once);
+
+}  // namespace orwl::harness

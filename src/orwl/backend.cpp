@@ -59,7 +59,16 @@ void apply_inits(const Program& program, Runtime& rt) {
 
 place::Plan plan_for(const Program& program, const topo::Topology& topo,
                      const comm::CommMatrix& m) {
-  return place::compute_plan(*program.policy(), topo, m,
+  // An explicit placement matrix (the measured-flow feedback loop) beats
+  // the backend's default static matrix.
+  const std::optional<comm::CommMatrix>& override = program.placement_matrix();
+  if (override) {
+    ORWL_CHECK_MSG(override->order() == program.num_tasks(),
+                   "placement matrix order " << override->order()
+                                             << " != task count "
+                                             << program.num_tasks());
+  }
+  return place::compute_plan(*program.policy(), topo, override ? *override : m,
                              program.treematch_options(),
                              program.place_seed());
 }
@@ -217,6 +226,13 @@ RunReport SimBackend::run(const Program& program) {
     emu_rt_.reset();
   }
   return rep;
+}
+
+Runtime& SimBackend::emulated_runtime() {
+  ORWL_CHECK_MSG(emu_rt_ != nullptr,
+                 "emulated_runtime() needs SimBackendOptions::emulate and a "
+                 "prior run()");
+  return *emu_rt_;
 }
 
 std::vector<std::byte> SimBackend::fetch_bytes(LocationId loc) {

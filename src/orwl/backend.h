@@ -51,6 +51,12 @@ class Backend {
   /// Raw bytes of a location after the latest run().
   virtual std::vector<std::byte> fetch_bytes(LocationId loc) = 0;
 
+  /// The instrumented Runtime behind the latest run(), when this backend
+  /// has one — its Instrument carries the measured flow matrix the
+  /// feedback-placement harness feeds back to TreeMatch. nullptr when the
+  /// backend executed nothing (e.g. SimBackend without emulation).
+  [[nodiscard]] virtual Runtime* instrumented_runtime() { return nullptr; }
+
   /// Typed post-run location contents.
   template <class T>
   std::vector<T> fetch(Location<T> loc) {
@@ -74,6 +80,9 @@ class RuntimeBackend : public Backend {
 
   RunReport run(const Program& program) override;
   std::vector<std::byte> fetch_bytes(LocationId loc) override;
+  [[nodiscard]] Runtime* instrumented_runtime() override {
+    return rt_.get();
+  }
 
   /// The runtime of the latest run() — stats, measured comm matrix.
   [[nodiscard]] Runtime& runtime();
@@ -107,8 +116,18 @@ class SimBackend : public Backend {
   /// Requires SimBackendOptions::emulate.
   std::vector<std::byte> fetch_bytes(LocationId loc) override;
 
+  /// The emulation runtime, or nullptr without emulate.
+  [[nodiscard]] Runtime* instrumented_runtime() override {
+    return emu_rt_.get();
+  }
+
   [[nodiscard]] const sim::Report& report() const { return last_; }
   [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+
+  /// The unbound in-process runtime of the latest emulated run() — its
+  /// Instrument holds the measured flow matrix the feedback-placement
+  /// harness re-feeds to TreeMatch. Requires SimBackendOptions::emulate.
+  [[nodiscard]] Runtime& emulated_runtime();
 
   /// The derived analytic workload — exposed for tests and diagnostics.
   [[nodiscard]] sim::Workload workload(const Program& program) const;

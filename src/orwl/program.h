@@ -359,6 +359,20 @@ class Program {
     place_seed_ = seed;
   }
 
+  /// Override the communication matrix the placement policy consumes:
+  /// instead of the declaration's static matrix, feed Algorithm 1 an
+  /// explicit one — typically the MEASURED flow matrix of a previous
+  /// instrumented run (Runtime::measured_comm_matrix), which closes the
+  /// paper's feedback loop. Order must equal the task count at run time.
+  /// Requires a prior place() — without a policy the matrix would be
+  /// silently ignored.
+  void place_using(comm::CommMatrix measured) {
+    ORWL_CHECK_MSG(policy_.has_value(),
+                   "place_using() without a placement policy — call "
+                   "place() first");
+    place_matrix_ = std::move(measured);
+  }
+
   // --- execution ----------------------------------------------------------
 
   /// Run on the given backend. Equivalent to backend.run(*this).
@@ -388,6 +402,10 @@ class Program {
     return tm_opts_;
   }
   [[nodiscard]] std::uint64_t place_seed() const { return place_seed_; }
+  [[nodiscard]] const std::optional<comm::CommMatrix>& placement_matrix()
+      const {
+    return place_matrix_;
+  }
 
   /// The static communication matrix of the declaration: every pair of
   /// tasks sharing a location gets an affinity of the location's size —
@@ -412,6 +430,7 @@ class Program {
   std::vector<TaskDecl> tasks_;
   std::vector<InitHook> inits_;
   std::optional<place::Policy> policy_;
+  std::optional<comm::CommMatrix> place_matrix_;
   treematch::Options tm_opts_;
   std::uint64_t place_seed_ = 42;
   std::size_t next_seq_ = 0;

@@ -1,6 +1,7 @@
 #include "place/placement.h"
 
 #include <algorithm>
+#include <cctype>
 #include <numeric>
 
 #include "support/assert.h"
@@ -20,12 +21,19 @@ const char* to_string(Policy p) {
 }
 
 Policy parse_policy(const std::string& name) {
-  if (name == "none" || name == "nobind") return Policy::None;
-  if (name == "compact") return Policy::Compact;
-  if (name == "scatter") return Policy::Scatter;
-  if (name == "random") return Policy::Random;
-  if (name == "treematch" || name == "bind") return Policy::TreeMatch;
-  ORWL_CHECK_MSG(false, "unknown placement policy '" << name << "'");
+  std::string s;
+  s.reserve(name.size());
+  for (const char c : name)
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (s == "none" || s == "nobind") return Policy::None;
+  if (s == "compact") return Policy::Compact;
+  if (s == "scatter") return Policy::Scatter;
+  if (s == "random") return Policy::Random;
+  if (s == "treematch" || s == "bind") return Policy::TreeMatch;
+  ORWL_CHECK_MSG(false, "unknown placement policy '"
+                            << name
+                            << "'; known: none|compact|scatter|random|"
+                               "treematch (aliases: nobind, bind)");
   return Policy::None;  // unreachable
 }
 

@@ -1,0 +1,16 @@
+#pragma once
+// Internal: the per-file workload builders the registry assembles. Each
+// returns a Built whose verify closure replays a sequential reference of
+// the same numerics. Not part of the public workloads API.
+
+#include "workloads/workloads.h"
+
+namespace orwl::workloads::detail {
+
+Built build_lk23(Program& p, const Params& params);
+Built build_stencil2d(Program& p, const Params& params);
+Built build_wavefront(Program& p, const Params& params);
+Built build_alltoall(Program& p, const Params& params);
+Built build_pipeline(Program& p, const Params& params);
+
+}  // namespace orwl::workloads::detail

@@ -1,0 +1,226 @@
+// Block wavefront sweep workload: the global field is updated in row-major
+// wavefront order, each point depending on its *already updated* west and
+// north neighbours (the Smith-Waterman / SOR dependency shape). One task
+// per block; a block waits for the west neighbour's east edge and the
+// north neighbour's south edge of the SAME iteration, sweeps, then exports
+// its own east/south edges — so iterations pipeline diagonally across the
+// block grid instead of running in lock-step.
+//
+// Communication support is the axis-neighbour pattern with only the
+// east/south pairs populated, i.e. exactly comm::stencil_matrix with
+// corners off (each undirected pair appears once).
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "comm/patterns.h"
+#include "sim/lk23_model.h"  // block_grid
+#include "support/assert.h"
+#include "workloads/builders.h"
+
+namespace orwl::workloads::detail {
+
+namespace {
+
+/// Deterministic initial value at global (i, j).
+double init_h(long i, long j) {
+  const auto h = static_cast<std::uint64_t>(i) * 40503ull +
+                 static_cast<std::uint64_t>(j) * 2654435761ull;
+  return static_cast<double>(h & 2047ull) / 2048.0;
+}
+
+/// West/north boundary feeds (outside the global field).
+double west_boundary(long i) { return 0.5 + 0.25 * init_h(i, -1); }
+double north_boundary(long j) { return 0.5 + 0.25 * init_h(-1, j); }
+
+double wave_point(double west, double north, double old) {
+  return 0.35 * west + 0.35 * north + 0.3 * old;
+}
+
+struct Geometry {
+  int gx = 1, gy = 1;
+  long brows = 1, bcols = 1;
+  long rows = 1, cols = 1;
+};
+
+Geometry geometry(const Params& params) {
+  Geometry g;
+  const auto [gx, gy] = sim::block_grid(params.tasks);
+  g.gx = gx;
+  g.gy = gy;
+  g.bcols = std::max<long>(2, params.size / gx);
+  g.brows = std::max<long>(2, params.size / gy);
+  g.rows = g.brows * gy;
+  g.cols = g.bcols * gx;
+  return g;
+}
+
+/// Sequential oracle: per iteration one row-major sweep over the global
+/// field; west/north operands are the values already updated this sweep.
+std::vector<double> reference(const Geometry& g, int iterations) {
+  const long R = g.rows, C = g.cols;
+  std::vector<double> h(static_cast<std::size_t>(R * C));
+  for (long i = 0; i < R; ++i)
+    for (long j = 0; j < C; ++j)
+      h[static_cast<std::size_t>(i * C + j)] = init_h(i, j);
+  for (int t = 0; t < iterations; ++t) {
+    for (long i = 0; i < R; ++i) {
+      for (long j = 0; j < C; ++j) {
+        const double west = j > 0 ? h[static_cast<std::size_t>(i * C + j - 1)]
+                                  : west_boundary(i);
+        const double north = i > 0
+                                 ? h[static_cast<std::size_t>((i - 1) * C + j)]
+                                 : north_boundary(j);
+        double& v = h[static_cast<std::size_t>(i * C + j)];
+        v = wave_point(west, north, v);
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+Built build_wavefront(Program& p, const Params& params) {
+  ORWL_CHECK_MSG(params.tasks >= 1 && params.size >= 2 &&
+                     params.iterations >= 1,
+                 "wavefront needs tasks >= 1, size >= 2, iterations >= 1");
+  const Geometry g = geometry(params);
+  const int B = g.gx * g.gy;
+  const int T = params.iterations;
+  const long brows = g.brows, bcols = g.bcols;
+
+  // Locations: the block fields plus an east edge (read by the east
+  // neighbour) and a south edge (read by the south neighbour) where such a
+  // neighbour exists.
+  std::vector<Location<double>> blocks, east, south;
+  blocks.reserve(static_cast<std::size_t>(B));
+  east.resize(static_cast<std::size_t>(B));
+  south.resize(static_cast<std::size_t>(B));
+  for (int b = 0; b < B; ++b) {
+    blocks.push_back(p.location<double>(
+        static_cast<std::size_t>(brows * bcols), "h" + std::to_string(b)));
+    const int x = b % g.gx, y = b / g.gx;
+    if (x + 1 < g.gx)
+      east[static_cast<std::size_t>(b)] = p.location<double>(
+          static_cast<std::size_t>(brows), "east" + std::to_string(b));
+    if (y + 1 < g.gy)
+      south[static_cast<std::size_t>(b)] = p.location<double>(
+          static_cast<std::size_t>(bcols), "south" + std::to_string(b));
+  }
+
+  const auto points = static_cast<double>(brows * bcols);
+  for (int b = 0; b < B; ++b) {
+    const int x = b % g.gx, y = b / g.gx;
+    const long row0 = y * brows;
+    const long col0 = x * bcols;
+    const Location<double> block = blocks[static_cast<std::size_t>(b)];
+    const Location<double> my_east = east[static_cast<std::size_t>(b)];
+    const Location<double> my_south = south[static_cast<std::size_t>(b)];
+    const Location<double> in_west =
+        x > 0 ? east[static_cast<std::size_t>(b - 1)] : Location<double>{};
+    const Location<double> in_north =
+        y > 0 ? south[static_cast<std::size_t>(b - g.gx)]
+              : Location<double>{};
+
+    TaskBuilder builder = p.task("wave" + std::to_string(b));
+    builder.writes(block, {.rank = 0});
+    if (my_east.valid()) builder.writes(my_east, {.rank = 1});
+    if (my_south.valid()) builder.writes(my_south, {.rank = 1});
+    if (in_west.valid()) builder.reads(in_west, {.rank = 2});
+    if (in_north.valid()) builder.reads(in_north, {.rank = 2});
+
+    builder.iterations(T)
+        .cost(3.0 * points, 16.0 * points)
+        .body([=, cur = std::vector<double>(),
+               wcol = std::vector<double>(static_cast<std::size_t>(brows)),
+               nrow = std::vector<double>(static_cast<std::size_t>(bcols))](
+                  Step& s) mutable {
+          const auto at = [bcols](long r, long c) {
+            return static_cast<std::size_t>(r * bcols + c);
+          };
+          if (s.first()) {
+            cur.resize(static_cast<std::size_t>(brows * bcols));
+            for (long r = 0; r < brows; ++r)
+              for (long c = 0; c < bcols; ++c)
+                cur[at(r, c)] = init_h(row0 + r, col0 + c);
+          }
+          // Incoming edges carry the SAME iteration's updated values — the
+          // FIFO alternation staggers the blocks into a wavefront.
+          if (in_west.valid())
+            s.read(in_west, [&](std::span<const double> edge) {
+              std::copy(edge.begin(), edge.end(), wcol.begin());
+            });
+          if (in_north.valid())
+            s.read(in_north, [&](std::span<const double> edge) {
+              std::copy(edge.begin(), edge.end(), nrow.begin());
+            });
+          for (long r = 0; r < brows; ++r) {
+            for (long c = 0; c < bcols; ++c) {
+              const double west =
+                  c > 0 ? cur[at(r, c - 1)]
+                        : (in_west.valid() ? wcol[static_cast<std::size_t>(r)]
+                                           : west_boundary(row0 + r));
+              const double north =
+                  r > 0 ? cur[at(r - 1, c)]
+                        : (in_north.valid()
+                               ? nrow[static_cast<std::size_t>(c)]
+                               : north_boundary(col0 + c));
+              cur[at(r, c)] = wave_point(west, north, cur[at(r, c)]);
+            }
+          }
+          if (my_east.valid())
+            s.write(my_east, [&](std::span<double> out) {
+              for (long r = 0; r < brows; ++r)
+                out[static_cast<std::size_t>(r)] = cur[at(r, bcols - 1)];
+            });
+          if (my_south.valid())
+            s.write(my_south, [&](std::span<double> out) {
+              for (long c = 0; c < bcols; ++c)
+                out[static_cast<std::size_t>(c)] = cur[at(brows - 1, c)];
+            });
+          s.write(block, [&](std::span<double> out) {
+            std::copy(cur.begin(), cur.end(), out.begin());
+          });
+        });
+  }
+
+  Built built;
+  built.num_tasks = B;
+  comm::StencilSpec st;
+  st.blocks_x = g.gx;
+  st.blocks_y = g.gy;
+  st.block_rows = static_cast<int>(brows);
+  st.block_cols = static_cast<int>(bcols);
+  st.corners = false;
+  built.predicted = comm::stencil_matrix(st);
+  built.verify = [g, T, blocks](Backend& backend, std::string& why) {
+    const std::vector<double> ref = reference(g, T);
+    double worst = 0.0;
+    for (int b = 0; b < g.gx * g.gy; ++b) {
+      const long row0 = (b / g.gx) * g.brows;
+      const long col0 = (b % g.gx) * g.bcols;
+      const std::vector<double> got =
+          backend.fetch(blocks[static_cast<std::size_t>(b)]);
+      for (long r = 0; r < g.brows; ++r)
+        for (long c = 0; c < g.bcols; ++c) {
+          const double want =
+              ref[static_cast<std::size_t>((row0 + r) * g.cols + col0 + c)];
+          const double have =
+              got[static_cast<std::size_t>(r * g.bcols + c)];
+          const double d = have > want ? have - want : want - have;
+          if (d > worst) worst = d;
+        }
+    }
+    if (worst <= 1e-12) return true;
+    std::ostringstream os;
+    os << "max |err| vs wavefront reference = " << worst;
+    why = os.str();
+    return false;
+  };
+  return built;
+}
+
+}  // namespace orwl::workloads::detail

@@ -1,0 +1,86 @@
+#pragma once
+// Workload registry: named, parameterized ORWL Program definitions with
+// built-in result verification and an analytic predicted-communication
+// matrix (src/comm/patterns.*) that mirrors what the runtime's Instrument
+// should measure. The registry is what turns the repo from a single-figure
+// LK23 reproduction into a scenario-diverse placement testbed: the bench
+// harness (src/harness) sweeps every entry across placement policies and
+// backends, and closes the paper's feedback loop (measured matrix ->
+// TreeMatch -> re-run) for each of them.
+//
+// Registered workloads:
+//   lk23      — the paper's Livermore Kernel 23 block decomposition
+//               (mains + frontier ops), ported from src/lk23;
+//   stencil2d — 2-D Jacobi heat stencil, one task per block, direct
+//               face-location exchange with the 4 axis neighbours;
+//   wavefront — block wavefront sweep (west/north incoming, east/south
+//               outgoing dependencies), the classic pipelined-DAG shape;
+//   alltoall  — every task publishes a chunk every round and reads every
+//               other task's chunk (the worst case for locality);
+//   pipeline  — a linear stage chain streaming frames hand-to-hand.
+//
+// Every Built workload can verify its numerical result against a
+// sequential reference, bit-for-bit where the decomposition allows it.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/comm_matrix.h"
+#include "orwl/backend.h"
+#include "orwl/program.h"
+
+namespace orwl::workloads {
+
+/// Scale knobs shared by all workloads. Meaning of `size` is per workload:
+/// the global matrix side for the grid workloads, elements per chunk /
+/// frame for the exchange workloads.
+struct Params {
+  int tasks = 4;
+  long size = 64;
+  int iterations = 4;
+};
+
+/// What building a workload into a Program yields, besides the Program
+/// itself: the task count, the analytic predicted-comm matrix, and a
+/// verification closure to run after execution.
+struct Built {
+  int num_tasks = 0;
+  /// Analytic pattern matrix (order == num_tasks). Nonzero support must
+  /// match the measured flow matrix of an instrumented run — the parity
+  /// the workloads_test checks per workload.
+  comm::CommMatrix predicted;
+  /// Check the backend's post-run location contents against the
+  /// sequential reference. On failure returns false and fills `why`.
+  /// Requires a fetch-capable backend (RuntimeBackend, or SimBackend with
+  /// emulate).
+  std::function<bool(Backend& backend, std::string& why)> verify;
+};
+
+/// A registry entry: a named factory of Program definitions.
+struct Workload {
+  std::string name;
+  std::string description;
+  Params defaults;
+  /// Build the workload into `p` at the given scale. The body closures
+  /// reset their captured state on Step::first(), so the resulting
+  /// Program can be run repeatedly (the harness re-runs it per
+  /// repetition).
+  std::function<Built(Program& p, const Params& params)> build;
+};
+
+/// All registered workloads, in registration order.
+const std::vector<Workload>& registry();
+
+/// Lookup by name; nullptr when unknown.
+const Workload* find(const std::string& name);
+
+/// Lookup by name; throws ContractError naming the known workloads when
+/// unknown.
+const Workload& get(const std::string& name);
+
+/// Registered names, in registration order.
+std::vector<std::string> names();
+
+}  // namespace orwl::workloads

@@ -21,6 +21,37 @@ TEST(PolicyNames, RoundTrip) {
   EXPECT_THROW(parse_policy("garbage"), ContractError);
 }
 
+TEST(PolicyNames, ParseIsCaseInsensitive) {
+  // CLI flags arrive in whatever case the user typed.
+  EXPECT_EQ(parse_policy("TreeMatch"), Policy::TreeMatch);
+  EXPECT_EQ(parse_policy("NONE"), Policy::None);
+  EXPECT_EQ(parse_policy("Compact"), Policy::Compact);
+  EXPECT_EQ(parse_policy("SCATTER"), Policy::Scatter);
+  EXPECT_EQ(parse_policy("Bind"), Policy::TreeMatch);
+  EXPECT_EQ(parse_policy("NoBind"), Policy::None);
+}
+
+TEST(PolicyNames, UnknownNamesThrowAndNameTheInput) {
+  for (const char* bad : {"", " ", "treematch ", " none", "tree-match",
+                          "best", "os"}) {
+    try {
+      (void)parse_policy(bad);
+      FAIL() << "parse_policy(\"" << bad << "\") did not throw";
+    } catch (const ContractError& e) {
+      EXPECT_NE(std::string(e.what()).find("unknown placement policy"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  // The message carries the offending name so CLI errors are actionable.
+  try {
+    (void)parse_policy("speedy");
+    FAIL() << "parse_policy(\"speedy\") did not throw";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("speedy"), std::string::npos);
+  }
+}
+
 TEST(ScatterOrder, SpreadsAcrossPackagesFirst) {
   const auto topo = topo::Topology::synthetic("pack:2 core:4 pu:1");
   const std::vector<int> order = scatter_order(topo);

@@ -1,0 +1,183 @@
+// orwl_bench: benchmark any registered workload across placement policies
+// and backends through the shared harness, with the measured-matrix
+// feedback mode of the paper as a first-class flag.
+//
+//   orwl_bench --list
+//   orwl_bench --workload stencil2d --policy treematch --backend sim
+//              --json out.json
+//   orwl_bench --workload all --policy all --backend both --feedback
+//
+// Policies: none | compact | scatter | random | treematch | all.
+// Backends: runtime (host execution) | sim (NUMA model) | both.
+// --feedback re-places with TreeMatch on the comm matrix measured during
+// the static runs and reports the speedup per case.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/bench.h"
+#include "support/table.h"
+#include "support/time.h"
+
+namespace {
+
+using namespace orwl;
+
+int usage(const char* argv0, int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: " << argv0 << " --list | --list-names\n"
+     << "       " << argv0 << " --workload NAME|all [options]\n"
+     << "options:\n"
+     << "  --policy P      none|compact|scatter|random|treematch|all "
+        "(default treematch)\n"
+     << "  --backend B     runtime|sim|both (default sim)\n"
+     << "  --topo SPEC     sim topology, e.g. 'pack:4 core:8 pu:1' "
+        "(default: paper machine)\n"
+     << "  --tasks N --size S --iters I   scale overrides (default: "
+        "per-workload)\n"
+     << "  --warmup W      warmup runs (default 1)\n"
+     << "  --reps R        timed repetitions (default 3)\n"
+     << "  --feedback      measured-matrix TreeMatch re-placement phase\n"
+     << "  --no-verify     skip result verification\n"
+     << "  --seed N        placement / simulation seed (default 42)\n"
+     << "  --json PATH     write machine-readable results (BENCH_*.json)\n";
+  return code;
+}
+
+std::string fmt_stats(const harness::Stats& s) {
+  return orwl::format_seconds(s.median) + " ±" + orwl::format_seconds(s.mad);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage(argv[0], 2);
+
+  std::string workload, policy_arg = "treematch", backend_arg = "sim";
+  harness::CaseSpec base;
+  bool tasks_set = false, size_set = false, iters_set = false;
+  std::string json_path;
+
+  const auto need_value = [&](std::size_t& i) -> std::string {
+    if (i + 1 >= args.size()) {
+      std::cerr << args[i] << " needs a value\n";
+      std::exit(usage(argv[0], 2));
+    }
+    return args[++i];
+  };
+
+  const auto parse_long = [&](const std::string& flag,
+                              const std::string& value) -> long {
+    try {
+      std::size_t used = 0;
+      const long v = std::stol(value, &used);
+      if (used == value.size()) return v;
+    } catch (const std::exception&) {
+    }
+    std::cerr << flag << " needs a number, got '" << value << "'\n";
+    std::exit(usage(argv[0], 2));
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") return usage(argv[0], 0);
+    if (a == "--list" || a == "--list-names") {
+      if (a == "--list") {
+        Table table({"workload", "description", "tasks", "size", "iters"});
+        for (const workloads::Workload& w : workloads::registry())
+          table.add_row({w.name, w.description,
+                         std::to_string(w.defaults.tasks),
+                         std::to_string(w.defaults.size),
+                         std::to_string(w.defaults.iterations)});
+        table.print(std::cout);
+      } else {
+        for (const std::string& name : workloads::names())
+          std::cout << name << '\n';
+      }
+      return 0;
+    }
+    if (a == "--workload") workload = need_value(i);
+    else if (a == "--policy") policy_arg = need_value(i);
+    else if (a == "--backend") backend_arg = need_value(i);
+    else if (a == "--topo") base.topo_spec = need_value(i);
+    else if (a == "--tasks") { base.params.tasks = static_cast<int>(parse_long(a, need_value(i))); tasks_set = true; }
+    else if (a == "--size") { base.params.size = parse_long(a, need_value(i)); size_set = true; }
+    else if (a == "--iters") { base.params.iterations = static_cast<int>(parse_long(a, need_value(i))); iters_set = true; }
+    else if (a == "--warmup") base.warmup = static_cast<int>(parse_long(a, need_value(i)));
+    else if (a == "--reps") base.repetitions = static_cast<int>(parse_long(a, need_value(i)));
+    else if (a == "--feedback") base.feedback = true;
+    else if (a == "--no-verify") base.verify = false;
+    else if (a == "--seed") base.seed = static_cast<std::uint64_t>(parse_long(a, need_value(i)));
+    else if (a == "--json") json_path = need_value(i);
+    else {
+      std::cerr << "unknown option '" << a << "'\n";
+      return usage(argv[0], 2);
+    }
+  }
+  if (workload.empty()) {
+    std::cerr << "--workload is required (or --list)\n";
+    return usage(argv[0], 2);
+  }
+
+  std::vector<std::string> workload_names;
+  if (workload == "all") workload_names = workloads::names();
+  else workload_names = {workload};
+
+  std::vector<std::string> backends;
+  if (backend_arg == "both") backends = {"runtime", "sim"};
+  else backends = {backend_arg};
+
+  std::vector<harness::CaseResult> results;
+  try {
+    std::vector<place::Policy> policies;
+    if (policy_arg == "all")
+      policies = {place::Policy::None, place::Policy::Compact,
+                  place::Policy::Scatter, place::Policy::Random,
+                  place::Policy::TreeMatch};
+    else
+      policies = {place::parse_policy(policy_arg)};
+
+    for (const std::string& name : workload_names) {
+      harness::CaseSpec spec = base;
+      spec.workload = name;
+      const workloads::Params defaults = workloads::get(name).defaults;
+      if (!tasks_set) spec.params.tasks = defaults.tasks;
+      if (!size_set) spec.params.size = defaults.size;
+      if (!iters_set) spec.params.iterations = defaults.iterations;
+      for (const harness::CaseResult& r :
+           harness::run_sweep(spec, policies, backends))
+        results.push_back(r);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+
+  Table table({"case", "tasks", "time (median ±MAD)", "feedback time",
+               "feedback speedup", "verified"});
+  bool all_ok = true;
+  for (const harness::CaseResult& r : results) {
+    const bool ok = !r.verify_ran || r.verified;
+    all_ok = all_ok && ok;
+    table.add_row(
+        {harness::case_name(r.spec), std::to_string(r.num_tasks),
+         fmt_stats(r.time),
+         r.feedback.ran ? fmt_stats(r.feedback.time) : std::string("-"),
+         r.feedback.ran ? orwl::fmt(r.feedback.speedup, 2) + "x"
+                        : std::string("-"),
+         r.verify_ran ? (r.verified ? "yes" : "NO") : "skipped"});
+    if (r.verify_ran && !r.verified)
+      std::cerr << harness::case_name(r.spec) << ": verification failed: "
+                << r.verify_error << '\n';
+  }
+  table.print(std::cout);
+
+  if (!json_path.empty()) {
+    std::cout << '\n';
+    if (!harness::write_json_file(json_path, results)) return 1;
+  }
+  return all_ok ? 0 : 1;
+}
