@@ -11,6 +11,10 @@
 // The program is a 4-stage ring: each task reads its input location and
 // writes its output location, 10 rounds. Swap RuntimeBackend for a
 // SimBackend to predict the same program on a machine you do not have.
+//
+// The region between the [quickstart-begin]/[quickstart-end] markers is
+// the exact snippet shown in README.md — tools/check_docs.py keeps the
+// two in sync, so the README example always compiles.
 
 #include <iostream>
 
@@ -20,6 +24,7 @@
 
 int main() {
   using namespace orwl;
+  // [quickstart-begin]
   constexpr int kStages = 4;
   constexpr int kRounds = 10;
 
@@ -30,9 +35,9 @@ int main() {
   for (int i = 0; i < kStages; ++i)
     stage.push_back(p.location<long>(1, "stage" + std::to_string(i)));
 
-  // 2. Tasks: stage i reads stage[i], writes stage[i+1]. Sections renew
-  // themselves every round and release on the last one — the iterative
-  // lock discipline is not spellable incorrectly here.
+  // 2. Tasks: stage i reads stage[i], writes stage[i+1]. Sections acquire
+  // on creation, renew themselves every round and release on the last one
+  // — the iterative lock discipline is enforced by the type system.
   for (int i = 0; i < kStages; ++i) {
     const Location<long> in = stage[static_cast<std::size_t>(i)];
     const Location<long> out =
@@ -53,14 +58,15 @@ int main() {
 
   // 4. Run on the real runtime of this machine.
   RuntimeBackend backend;
+  const RunReport rep = p.run(backend);
+  // [quickstart-end]
+
   const auto& topo = backend.topology();
   const comm::CommMatrix m = p.static_comm_matrix();
 
   std::cout << "host topology: " << topo.num_pus() << " PUs, depth "
             << topo.depth() << "\n\ncommunication matrix (bytes/round):\n";
   m.save_csv(std::cout);
-
-  const RunReport rep = p.run(backend);
 
   Table table({"task", "compute PU", "control PU"});
   for (int t = 0; t < p.num_tasks(); ++t)

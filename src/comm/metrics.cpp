@@ -1,5 +1,7 @@
 #include "comm/metrics.h"
 
+#include <cmath>
+
 #include "support/assert.h"
 #include "support/cast.h"
 
@@ -64,6 +66,21 @@ double locality_fraction(const topo::Topology& topo, const CommMatrix& m,
                   if (topo.common_ancestor_depth(a, b) >= depth) local += w;
                 });
   return total == 0.0 ? 1.0 : local / total;
+}
+
+double normalized_distance(const CommMatrix& a, const CommMatrix& b) {
+  ORWL_CHECK_MSG(a.order() == b.order(),
+                 "normalized_distance needs equal orders, got "
+                     << a.order() << " and " << b.order());
+  const double va = a.total_volume();
+  const double vb = b.total_volume();
+  if (va == 0.0 && vb == 0.0) return 0.0;
+  if (va == 0.0 || vb == 0.0) return 1.0;
+  double dist = 0.0;
+  for (int i = 0; i < a.order(); ++i)
+    for (int j = i + 1; j < a.order(); ++j)
+      dist += std::abs(a.at(i, j) / va - b.at(i, j) / vb);
+  return 0.5 * dist;
 }
 
 void validate_mapping(const topo::Topology& topo, const Mapping& mapping,

@@ -37,4 +37,14 @@ double locality_fraction(const topo::Topology& topo, const CommMatrix& m,
 void validate_mapping(const topo::Topology& topo, const Mapping& mapping,
                       int max_per_pu = 1);
 
+/// Normalized distance between two communication matrices in [0, 1]: the
+/// total-variation distance of the volume-normalized weight distributions,
+/// 0.5 * sum |a_ij/vol(a) - b_ij/vol(b)| over off-diagonal pairs. Scale
+/// invariant (measuring twice as long does not register as drift); 0 for
+/// identical patterns, 1 for disjoint supports. A zero-volume matrix is at
+/// distance 0 from another zero-volume matrix and 1 from any non-empty
+/// one. Orders must match. This is the drift metric the online re-placer
+/// (place/replace.h) applies to per-epoch flow windows.
+double normalized_distance(const CommMatrix& a, const CommMatrix& b);
+
 }  // namespace orwl::comm

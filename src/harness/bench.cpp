@@ -97,8 +97,13 @@ void emit_document(std::ostream& os, const std::string& bench,
 }  // namespace
 
 std::string case_name(const CaseSpec& spec) {
-  return spec.workload + "/" + spec.backend + "/" +
-         place::to_string(spec.policy) + (spec.feedback ? "/feedback" : "");
+  std::string name = spec.workload + "/" + spec.backend + "/" +
+                     place::to_string(spec.policy) +
+                     (spec.feedback ? "/feedback" : "");
+  if (spec.replacement.enabled())
+    name += std::string("/replace:") +
+            place::to_string(spec.replacement.mode);
+  return name;
 }
 
 CaseResult run_case(const CaseSpec& spec) {
@@ -123,15 +128,23 @@ CaseResult run_case(const CaseSpec& spec) {
   }
 
   workloads::Built built;
+  // The recorded epoch trace covers the static phase only; the feedback
+  // phase re-runs with the measured matrix and would overwrite it.
+  bool record_epochs = true;
   const auto run_on = [&](Backend& backend, place::Policy policy,
                           const std::optional<comm::CommMatrix>& matrix) {
     Program p;
     built = wl.build(p, spec.params);
     p.place(policy, {}, spec.seed);
     if (matrix) p.place_using(*matrix);
+    if (spec.replacement.enabled()) p.replacement(spec.replacement);
     const RunReport rep = p.run(backend);
     res.grants = rep.grants;
     res.placed = rep.placed;
+    if (record_epochs) {
+      res.epochs = rep.epochs;
+      res.replacements = rep.replacements;
+    }
     return rep.seconds;
   };
 
@@ -163,6 +176,8 @@ CaseResult run_case(const CaseSpec& spec) {
     res.verify_ran = true;
     res.verified = check(res.verify_error);
   }
+
+  record_epochs = false;
 
   // Phase 2 (feedback): re-place with TreeMatch on the flow matrix the
   // runtime MEASURED during phase 1, and re-run — Algorithm 1 fed by
@@ -238,6 +253,31 @@ void write_json(std::ostream& os, const std::vector<CaseResult>& results) {
         json.end_object();
       } else {
         json.null_member("feedback");
+      }
+      // Online re-placement trace (docs/benchmarks.md "per-epoch fields").
+      json.member("replacement",
+                  place::to_string(r.spec.replacement.mode));
+      if (r.spec.replacement.enabled()) {
+        json.member("epoch_length", r.spec.replacement.epoch_length);
+        json.member("drift_threshold", r.spec.replacement.drift_threshold);
+        json.member("replacements", r.replacements);
+        json.begin_array("epochs");
+        for (const orwl::RunReport::EpochRecord& e : r.epochs) {
+          json.begin_object();
+          json.member("epoch", e.epoch);
+          json.member("round", e.round);
+          json.member("drift", e.drift);
+          json.member("replaced", e.replaced);
+          json.member("migrated", e.migrated);
+          json.member("rebind_failures", e.rebind_failures);
+          json.member("replace_seconds", e.replace_seconds);
+          json.begin_array("compute_pu");
+          for (const int pu : e.compute_pu)
+            json.element(static_cast<double>(pu));
+          json.end_array();
+          json.end_object();
+        }
+        json.end_array();
       }
       json.end_object();
     }

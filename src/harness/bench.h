@@ -21,7 +21,9 @@
 
 #include "comm/comm_matrix.h"
 #include "harness/stats.h"
+#include "orwl/backend.h"
 #include "place/placement.h"
+#include "place/replace.h"
 #include "workloads/workloads.h"
 
 namespace orwl::harness {
@@ -42,6 +44,10 @@ struct CaseSpec {
   int repetitions = 3;
   /// Run the measured-matrix feedback placement after the static runs.
   bool feedback = false;
+  /// Online adaptive re-placement during every run (place/replace.h):
+  /// off (default), every_epoch, or on_drift with the policy's epoch
+  /// length and drift threshold.
+  place::ReplacementPolicy replacement{};
   /// Check the result against the workload's sequential reference.
   bool verify = true;
   std::uint64_t seed = 42;
@@ -68,6 +74,10 @@ struct CaseResult {
   bool verified = false;
   std::string verify_error;
   FeedbackResult feedback;
+  /// Online re-placement trace of the last timed run (empty when the
+  /// spec's replacement policy is off): one record per epoch boundary.
+  std::vector<orwl::RunReport::EpochRecord> epochs;
+  int replacements = 0;  ///< boundaries at which Algorithm 1 re-ran
 };
 
 /// Run one case end to end. Throws ContractError on unknown workload /

@@ -1,9 +1,12 @@
 #include "orwl/backend.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "place/replace.h"
 #include "support/assert.h"
+#include "support/log.h"
 #include "support/rng.h"
 #include "support/time.h"
 
@@ -33,10 +36,20 @@ void build_runtime(const Program& program, Runtime& rt) {
                  table](TaskContext& ctx) {
                   // Copy: pending flags are per-execution state.
                   Step step(ctx.runtime(), ctx.id(), rounds, *table);
+                  Runtime& runtime = ctx.runtime();
                   for (int r = 0; r < rounds; ++r) {
+                    // Epoch boundary rendezvous (online re-placement);
+                    // no-op unless an epoch hook is installed.
+                    const int len = runtime.epoch_length();
+                    if (len > 0 && r > 0 && r % len == 0)
+                      runtime.epoch_arrive(ctx.id(), r);
                     step.set_round(r);
                     fn(step);
                   }
+                  // Leave the epoch barrier population before draining:
+                  // remaining tasks must not wait for this one at future
+                  // boundaries.
+                  runtime.epoch_retire(ctx.id());
                   step.drain();
                 });
   }
@@ -98,6 +111,71 @@ RunReport RuntimeBackend::run(const Program& program) {
     rep.placed = true;
   }
 
+  // Online re-placement: at every epoch boundary the hook reads the
+  // Instrument's fresh flow window, asks the Replacer, and — when drift
+  // warrants it — rebinds the live compute and control threads while they
+  // are parked at the barrier. The run never stops.
+  const place::ReplacementPolicy& rp = program.replacement_policy();
+  std::optional<place::Replacer> replacer;
+  place::Plan current = rep.plan;
+  if (rp.enabled()) {
+    ORWL_CHECK_MSG(program.policy(),
+                   "online re-placement needs a placement policy — call "
+                   "place() before replacement()");
+    const std::optional<comm::CommMatrix>& basis = program.placement_matrix();
+    replacer.emplace(rp, topo_, program.treematch_options(),
+                     program.place_seed(),
+                     basis ? *basis : rt_->static_comm_matrix());
+    rt_->stats().begin_epoch();
+    rt_->set_epoch_hook(
+        rp.epoch_length, [this, &rep, &replacer, &current](int epoch,
+                                                           int round) {
+          WallTimer replace_timer;
+          Instrument& stats = rt_->stats();
+          const comm::CommMatrix window = stats.epoch_flow_matrix();
+          stats.begin_epoch();
+          const place::Replacer::Decision dec = replacer->evaluate(window);
+          RunReport::EpochRecord rec;
+          rec.epoch = epoch;
+          rec.round = round;
+          rec.drift = dec.drift;
+          rec.replaced = dec.replaced;
+          if (dec.replaced) {
+            rec.migrated = place::count_migrations(current.compute_pu,
+                                                   dec.plan.compute_pu);
+            const auto pus = topo_.pus();
+            for (TaskId t = 0; t < rt_->num_tasks(); ++t) {
+              const auto ti = static_cast<std::size_t>(t);
+              const int cpu = dec.plan.compute_pu[ti];
+              if (cpu >= 0 &&
+                  !rt_->rebind_compute_thread(
+                      t, pus[static_cast<std::size_t>(cpu)]->cpuset))
+                ++rec.rebind_failures;
+              // Control thread follows its compute thread unless the plan
+              // manages it separately (mirrors place::apply_plan).
+              // Best-effort: only PerTask control threads are rebindable.
+              const int ctl = dec.plan.control_pu[ti] >= 0
+                                  ? dec.plan.control_pu[ti]
+                                  : cpu;
+              if (ctl >= 0)
+                rt_->rebind_control_thread(
+                    t, pus[static_cast<std::size_t>(ctl)]->cpuset);
+            }
+            if (rec.rebind_failures > 0) {
+              ORWL_LOG(Warn)
+                  << "epoch " << epoch << ": " << rec.rebind_failures
+                  << " compute thread(s) could not be rebound; recorded "
+                     "mapping is intent, not fact, for them";
+            }
+            current = dec.plan;
+            ++rep.replacements;
+          }
+          rec.replace_seconds = replace_timer.seconds();
+          rec.compute_pu = current.compute_pu;
+          rep.epochs.push_back(std::move(rec));
+        });
+  }
+
   WallTimer timer;
   rt_->run();
   rep.seconds = timer.seconds();
@@ -127,11 +205,46 @@ SimBackend::SimBackend(topo::Topology topo, sim::LinkCost cost,
                        SimBackendOptions opts)
     : topo_(std::move(topo)), cost_(std::move(cost)), opts_(opts) {}
 
-sim::Workload SimBackend::workload(const Program& program) const {
+namespace {
+
+/// An exchange edge annotated with the rounds in which it is active —
+/// the intersection of the two declared access windows, clipped to the
+/// run length. Phase-stationary programs get [0, iterations) everywhere.
+struct WindowedEdge {
+  int a = 0;
+  int b = 0;
+  double bytes = 0.0;  ///< per active round
+  int from = 0;
+  int until = 0;  ///< exclusive
+};
+
+int window_overlap(const WindowedEdge& e, int r0, int r1) {
+  return std::max(0, std::min(e.until, r1) - std::max(e.from, r0));
+}
+
+/// One declared access's active window, clipped to the run length.
+struct AccessWindow {
+  int from = 0;
+  int until = 0;  ///< exclusive
+};
+
+struct DerivedLoad {
+  sim::Workload base;  ///< threads, sync model, iterations; edges empty
+  std::vector<WindowedEdge> edges;
+  /// Per task: the active windows of its declared accesses — the source
+  /// of per-segment acquire counts (lock-cost parity with the runtime,
+  /// which only acquires phase-active handles).
+  std::vector<std::vector<AccessWindow>> access_windows;
+  /// Modelled grand total of lock acquisitions over the whole run.
+  std::uint64_t total_grants = 0;
+};
+
+DerivedLoad derive_load(const Program& program) {
   const auto& tasks = program.task_decls();
   const auto& locs = program.location_decls();
 
-  sim::Workload load;
+  DerivedLoad out;
+  sim::Workload& load = out.base;
   load.sync = sim::SyncModel::OrwlEvents;
   load.threads.resize(tasks.size());
   load.iterations = 1;
@@ -139,16 +252,44 @@ sim::Workload SimBackend::workload(const Program& program) const {
     sim::SimThread& th = load.threads[t];
     th.flops = tasks[t].flops;
     th.mem_bytes = tasks[t].mem_bytes;
-    th.acquires = static_cast<int>(tasks[t].accesses.size());
     load.iterations = std::max(load.iterations, tasks[t].iterations);
+  }
+
+  out.access_windows.resize(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    for (const Program::AccessDecl& acc : tasks[t].accesses) {
+      const int until = acc.until_round < 0
+                            ? load.iterations
+                            : std::min(acc.until_round, load.iterations);
+      if (until > acc.from_round)
+        out.access_windows[t].push_back({acc.from_round, until});
+      // Grants clip to the owning task's iteration count (matching the
+      // pre-window accounting for stationary programs).
+      const int grant_until = std::min(
+          acc.until_round < 0 ? tasks[t].iterations : acc.until_round,
+          tasks[t].iterations);
+      if (grant_until > acc.from_round)
+        out.total_grants +=
+            static_cast<std::uint64_t>(grant_until - acc.from_round);
+    }
+    // The whole-run average acquire count per iteration (exact declared
+    // count for stationary programs).
+    double active = 0.0;
+    for (const AccessWindow& w : out.access_windows[t])
+      active += w.until - w.from;
+    load.threads[t].acquires = static_cast<int>(
+        std::lround(active / load.iterations));
   }
 
   // Exchange edges: for every location, each (writer, reader) task pair
   // moves the smaller of the two declared touch extents (a frontier op
-  // reads a whole block but only ships one face).
+  // reads a whole block but only ships one face), during the rounds where
+  // both accesses are active.
   struct Party {
     int task;
     double bytes;
+    int from;
+    int until;
   };
   std::vector<std::vector<Party>> writers(locs.size()), readers(locs.size());
   for (std::size_t t = 0; t < tasks.size(); ++t) {
@@ -156,24 +297,79 @@ sim::Workload SimBackend::workload(const Program& program) const {
       const auto li = static_cast<std::size_t>(acc.location);
       const double bytes = static_cast<double>(
           acc.touch_bytes > 0 ? acc.touch_bytes : locs[li].bytes);
+      const int until = acc.until_round < 0 ? load.iterations
+                                            : std::min(acc.until_round,
+                                                       load.iterations);
       auto& side = acc.mode == AccessMode::Write ? writers[li] : readers[li];
-      side.push_back({static_cast<int>(t), bytes});
+      side.push_back({static_cast<int>(t), bytes, acc.from_round, until});
     }
   }
   for (std::size_t li = 0; li < locs.size(); ++li)
     for (const Party& w : writers[li])
       for (const Party& r : readers[li]) {
         if (w.task == r.task) continue;
-        load.edges.push_back({w.task, r.task, std::min(w.bytes, r.bytes)});
+        const int from = std::max(w.from, r.from);
+        const int until = std::min(w.until, r.until);
+        if (from >= until) continue;
+        out.edges.push_back(
+            {w.task, r.task, std::min(w.bytes, r.bytes), from, until});
       }
-  return load;
+  return out;
+}
+
+/// The analytic flow matrix of the window [r0, r1): what the Instrument
+/// would have measured there. Fed to the Replacer for backend parity.
+comm::CommMatrix window_matrix(const DerivedLoad& load, int num_tasks,
+                               int r0, int r1) {
+  comm::CommMatrix m(num_tasks);
+  for (const WindowedEdge& e : load.edges) {
+    const int rounds = window_overlap(e, r0, r1);
+    if (rounds > 0) m.add(e.a, e.b, e.bytes * rounds);
+  }
+  return m;
+}
+
+/// Edges of one simulated segment [r0, r1): per-round bytes averaged over
+/// the segment (an edge fully active in the segment keeps its bytes; the
+/// segment boundaries make partial overlap rare).
+std::vector<sim::Edge> segment_edges(const DerivedLoad& load, int r0,
+                                     int r1) {
+  std::vector<sim::Edge> edges;
+  for (const WindowedEdge& e : load.edges) {
+    const int rounds = window_overlap(e, r0, r1);
+    if (rounds <= 0) continue;
+    edges.push_back({e.a, e.b, e.bytes * rounds / (r1 - r0)});
+  }
+  return edges;
+}
+
+/// Per-thread acquire counts for a segment starting at r0. Segments never
+/// span an access-window boundary, so activity at r0 holds throughout.
+void apply_segment_acquires(const DerivedLoad& load, int r0,
+                            sim::Workload& seg) {
+  for (std::size_t t = 0; t < seg.threads.size(); ++t) {
+    int active = 0;
+    for (const AccessWindow& w : load.access_windows[t])
+      if (w.from <= r0 && r0 < w.until) ++active;
+    seg.threads[t].acquires = active;
+  }
+}
+
+}  // namespace
+
+sim::Workload SimBackend::workload(const Program& program) const {
+  DerivedLoad derived = derive_load(program);
+  derived.base.edges =
+      segment_edges(derived, 0, derived.base.iterations);
+  return derived.base;
 }
 
 RunReport SimBackend::run(const Program& program) {
   ORWL_CHECK_MSG(program.num_tasks() > 0, "program has no tasks");
-  const sim::Workload load = workload(program);
+  const DerivedLoad derived = derive_load(program);
   const int n = program.num_tasks();
   const int npus = topo_.num_pus();
+  const int rounds = derived.base.iterations;
 
   RunReport rep;
   rep.backend = "sim";
@@ -206,14 +402,105 @@ RunReport SimBackend::run(const Program& program) {
     }
   }
 
-  last_ = sim::simulate(topo_, cost_, load, placement, opts_.seed);
+  // Online re-placement, mirrored analytically: the same Replacer the
+  // RuntimeBackend drives, fed the per-window matrices of the declared
+  // access schedule, with LinkCost::migration_cost charged per migrated
+  // thread. Data homes do not move (first touch), so post-migration
+  // remote-memory streams are charged naturally in later segments.
+  const place::ReplacementPolicy& rp = program.replacement_policy();
+  std::optional<place::Replacer> replacer;
+  if (rp.enabled()) {
+    ORWL_CHECK_MSG(program.policy(),
+                   "online re-placement needs a placement policy — call "
+                   "place() before replacement()");
+    const std::optional<comm::CommMatrix>& basis = program.placement_matrix();
+    replacer.emplace(rp, topo_, program.treematch_options(),
+                     program.place_seed(),
+                     basis ? *basis : program.static_comm_matrix());
+  }
+
+  // Segment the run at access-window boundaries (so each phase is costed
+  // with its true edges and acquire counts, not a run-wide average) and at
+  // epoch boundaries where a re-placement actually fired (so the new
+  // mapping takes effect). Epoch boundaries that only *evaluate* do not
+  // split the simulation — a stationary program with replacement enabled
+  // therefore predicts bit-identically to its static twin, unbound-thread
+  // scheduler lottery included.
+  std::vector<int> phase_cuts;
+  for (const std::vector<AccessWindow>& windows : derived.access_windows)
+    for (const AccessWindow& w : windows) {
+      if (w.from > 0 && w.from < rounds) phase_cuts.push_back(w.from);
+      if (w.until > 0 && w.until < rounds) phase_cuts.push_back(w.until);
+    }
+  std::vector<int> points = phase_cuts;
+  points.push_back(rounds);
+  if (rp.enabled())
+    for (int r = rp.epoch_length; r < rounds; r += rp.epoch_length)
+      points.push_back(r);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  std::sort(phase_cuts.begin(), phase_cuts.end());
+
+  last_ = sim::Report{};
+  int seg_start = 0;
+  const auto flush_segment = [&](int r) {
+    if (r <= seg_start) return;
+    sim::Workload seg = derived.base;
+    seg.iterations = r - seg_start;
+    seg.edges = segment_edges(derived, seg_start, r);
+    apply_segment_acquires(derived, seg_start, seg);
+    const sim::Report sr =
+        sim::simulate(topo_, cost_, seg, placement, opts_.seed);
+    last_.total_seconds += sr.total_seconds;
+    last_.compute_seconds += sr.compute_seconds;
+    last_.memory_seconds += sr.memory_seconds;
+    last_.comm_seconds += sr.comm_seconds;
+    last_.sync_seconds += sr.sync_seconds;
+    last_.lock_seconds += sr.lock_seconds;
+    last_.max_pu_load = std::max(last_.max_pu_load, sr.max_pu_load);
+    seg_start = r;
+  };
+
+  for (const int r : points) {
+    const bool is_epoch =
+        replacer && r < rounds && r % rp.epoch_length == 0;
+    std::optional<place::Replacer::Decision> dec;
+    if (is_epoch)
+      dec = replacer->evaluate(
+          window_matrix(derived, n, r - rp.epoch_length, r));
+    // Simulate up to r with the placement in force there — before any
+    // re-placement applies — when the edge set changes, a re-placement
+    // fired, or the run ends.
+    if (std::binary_search(phase_cuts.begin(), phase_cuts.end(), r) ||
+        (dec && dec->replaced) || r == rounds)
+      flush_segment(r);
+    if (!dec) continue;
+    RunReport::EpochRecord rec;
+    rec.epoch = r / rp.epoch_length;
+    rec.round = r;
+    rec.drift = dec->drift;
+    rec.replaced = dec->replaced;
+    if (dec->replaced) {
+      rec.migrated = place::count_migrations(placement.compute_pu,
+                                             dec->plan.compute_pu);
+      placement.compute_pu = dec->plan.compute_pu;
+      placement.control_pu = dec->plan.control_pu;
+      for (int t = 0; t < n; ++t) {
+        const auto ti = static_cast<std::size_t>(t);
+        if (placement.compute_pu[ti] >= 0 && placement.control_pu[ti] < 0)
+          placement.control_pu[ti] = placement.compute_pu[ti];
+      }
+      rec.replace_seconds = rec.migrated * cost_.migration_cost;
+      last_.total_seconds += rec.replace_seconds;
+      ++rep.replacements;
+    }
+    rec.compute_pu = placement.compute_pu;
+    rep.epochs.push_back(std::move(rec));
+  }
+  flush_segment(rounds);
   rep.sim = last_;
   rep.seconds = last_.total_seconds;
-  std::uint64_t acquires = 0;
-  for (const Program::TaskDecl& task : program.task_decls())
-    acquires += static_cast<std::uint64_t>(task.accesses.size()) *
-                static_cast<std::uint64_t>(task.iterations);
-  rep.grants = acquires;
+  rep.grants = derived.total_grants;
 
   if (opts_.emulate) {
     RuntimeOptions ro;

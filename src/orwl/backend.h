@@ -36,8 +36,27 @@ struct RunReport {
   double seconds = 0.0;     ///< wall time (runtime) or predicted (sim)
   std::uint64_t grants = 0; ///< delivered (runtime) or modelled acquisitions
   bool placed = false;      ///< a placement policy was applied
-  place::Plan plan;         ///< the placement, when placed
+  place::Plan plan;         ///< the INITIAL placement, when placed
   sim::Report sim;          ///< cost-model breakdown (SimBackend only)
+
+  /// One entry per epoch boundary when online re-placement ran
+  /// (Program::replacement): the drift decision and the mapping in force
+  /// for the following window.
+  struct EpochRecord {
+    int epoch = 0;   ///< 1-based boundary index
+    int round = 0;   ///< first iteration of the following window
+    double drift = 0.0;        ///< normalized distance vs the basis matrix
+    bool replaced = false;     ///< Algorithm 1 re-ran at this boundary
+    int migrated = 0;          ///< tasks whose compute PU changed
+    /// Compute threads the OS refused to rebind (exited thread, foreign
+    /// cpuset). 0 on SimBackend; nonzero means `compute_pu` is intent,
+    /// not fact, for those tasks.
+    int rebind_failures = 0;
+    double replace_seconds = 0.0;  ///< measured (runtime) / modelled (sim)
+    comm::Mapping compute_pu;  ///< mapping after the boundary
+  };
+  std::vector<EpochRecord> epochs;
+  int replacements = 0;  ///< boundaries at which Algorithm 1 re-ran
 };
 
 class Backend {

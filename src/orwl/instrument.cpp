@@ -34,4 +34,25 @@ comm::CommMatrix Instrument::flow_matrix() const {
   return flows_;
 }
 
+void Instrument::begin_epoch() {
+  std::lock_guard lock(mu_);
+  epoch_base_ = flows_;
+}
+
+comm::CommMatrix Instrument::epoch_flow_matrix() const {
+  std::lock_guard lock(mu_);
+  comm::CommMatrix delta(flows_.order());
+  for (int i = 0; i < flows_.order(); ++i) {
+    for (int j = i + 1; j < flows_.order(); ++j) {
+      const double base =
+          i < epoch_base_.order() && j < epoch_base_.order()
+              ? epoch_base_.at(i, j)
+              : 0.0;
+      const double d = flows_.at(i, j) - base;
+      if (d > 0.0) delta.set(i, j, d);
+    }
+  }
+  return delta;
+}
+
 }  // namespace orwl

@@ -41,12 +41,26 @@ class Instrument {
   /// Symmetric matrix of bytes exchanged between tasks so far.
   [[nodiscard]] comm::CommMatrix flow_matrix() const;
 
+  // --- epoch windows (online re-placement, place/replace.h) ---------------
+  //
+  // An epoch is a window of iterations; the runtime marks its start with
+  // begin_epoch() and reads the flows accumulated *within* the window with
+  // epoch_flow_matrix(). The cumulative flow_matrix() is unaffected.
+
+  /// Mark the start of a new epoch window: subsequent epoch_flow_matrix()
+  /// calls report only flows recorded after this point.
+  void begin_epoch();
+
+  /// Flows recorded since the last begin_epoch() (or construction).
+  [[nodiscard]] comm::CommMatrix epoch_flow_matrix() const;
+
  private:
   std::atomic<std::uint64_t> read_grants_{0};
   std::atomic<std::uint64_t> write_grants_{0};
   std::atomic<std::uint64_t> releases_{0};
   mutable std::mutex mu_;
   comm::CommMatrix flows_;
+  comm::CommMatrix epoch_base_;  ///< snapshot of flows_ at begin_epoch()
 };
 
 }  // namespace orwl

@@ -55,8 +55,14 @@ void TaskBuilder::declare(LocationId loc, AccessMode mode, AccessOpts opts) {
   ORWL_CHECK_MSG(opts.touch_bytes <= loc_bytes,
                  "touch_bytes " << opts.touch_bytes
                                 << " exceeds location size " << loc_bytes);
-  decl.accesses.push_back(
-      {loc, mode, opts.rank, opts.touch_bytes, program_->next_seq_++});
+  ORWL_CHECK_MSG(opts.from_round >= 0,
+                 "negative from_round " << opts.from_round);
+  ORWL_CHECK_MSG(opts.until_round == -1 || opts.until_round > opts.from_round,
+                 "empty access window [" << opts.from_round << ", "
+                                         << opts.until_round << ")");
+  decl.accesses.push_back({loc, mode, opts.rank, opts.touch_bytes,
+                           program_->next_seq_++, opts.from_round,
+                           opts.until_round});
 }
 
 comm::CommMatrix Program::static_comm_matrix() const {

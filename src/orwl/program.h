@@ -52,6 +52,7 @@
 #include "orwl/handle.h"
 #include "orwl/runtime.h"
 #include "place/placement.h"
+#include "place/replace.h"
 #include "support/assert.h"
 #include "treematch/treematch.h"
 
@@ -242,6 +243,14 @@ struct AccessOpts {
   /// partial reads/writes, e.g. one face of a block). 0 = the whole
   /// location.
   std::size_t touch_bytes = 0;
+  /// Round window [from_round, until_round) during which the body actually
+  /// exercises this access — the declaration hint behind phase-shifting
+  /// workloads. The runtime does not enforce it (the body's control flow
+  /// does); SimBackend uses it to derive per-phase exchange edges and the
+  /// per-epoch matrices the online re-placer sees. Defaults to all rounds
+  /// (until_round == -1 means "to the end of the run").
+  int from_round = 0;
+  int until_round = -1;
 };
 
 /// Fluent builder returned by Program::task(). Cheap value; mutates the
@@ -301,6 +310,8 @@ class Program {
     int rank = 0;
     std::size_t touch_bytes = 0;  ///< 0 = whole location
     std::size_t seq = 0;          ///< program-wide declaration stamp
+    int from_round = 0;           ///< active-round window start
+    int until_round = -1;         ///< one past the window end; -1 = all
   };
   struct TaskDecl {
     std::string name;
@@ -373,6 +384,18 @@ class Program {
     place_matrix_ = std::move(measured);
   }
 
+  /// Enable online adaptive re-placement (place/replace.h): the backend
+  /// accumulates the communication matrix per epoch of
+  /// `rp.epoch_length` iterations and, per the policy, re-runs Algorithm 1
+  /// on the fresh matrix and rebinds the threads mid-run. Requires a prior
+  /// place() — re-placement adapts an existing placement.
+  void replacement(place::ReplacementPolicy rp) {
+    ORWL_CHECK_MSG(!rp.enabled() || policy_.has_value(),
+                   "replacement() without a placement policy — call "
+                   "place() first");
+    replacement_ = rp;
+  }
+
   // --- execution ----------------------------------------------------------
 
   /// Run on the given backend. Equivalent to backend.run(*this).
@@ -406,6 +429,9 @@ class Program {
       const {
     return place_matrix_;
   }
+  [[nodiscard]] const place::ReplacementPolicy& replacement_policy() const {
+    return replacement_;
+  }
 
   /// The static communication matrix of the declaration: every pair of
   /// tasks sharing a location gets an affinity of the location's size —
@@ -431,6 +457,7 @@ class Program {
   std::vector<InitHook> inits_;
   std::optional<place::Policy> policy_;
   std::optional<comm::CommMatrix> place_matrix_;
+  place::ReplacementPolicy replacement_;
   treematch::Options tm_opts_;
   std::uint64_t place_seed_ = 42;
   std::size_t next_seq_ = 0;

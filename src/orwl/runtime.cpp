@@ -82,6 +82,78 @@ void Runtime::set_shared_control_binding(int pool_index, topo::Bitmap cpuset) {
   shared_bindings_[static_cast<std::size_t>(pool_index)] = std::move(cpuset);
 }
 
+void Runtime::set_epoch_hook(int epoch_length, EpochHook hook) {
+  ORWL_CHECK_MSG(!ran_, "cannot install an epoch hook after run()");
+  ORWL_CHECK_MSG(epoch_length >= 1,
+                 "epoch length must be >= 1, got " << epoch_length);
+  ORWL_CHECK_MSG(hook != nullptr, "epoch hook must be callable");
+  epoch_length_ = epoch_length;
+  epoch_hook_ = std::move(hook);
+}
+
+void Runtime::epoch_fire(std::unique_lock<std::mutex>& lock) {
+  // Everyone expected has arrived: parked threads cannot advance and no
+  // task can retire, so the hook owns the run. Release the lock while it
+  // executes — the hook calls back into rebind_* and the Instrument.
+  const int epoch = esync_generation_ + 1;
+  const int round = esync_round_;
+  lock.unlock();
+  std::exception_ptr hook_error;
+  try {
+    if (epoch_hook_) epoch_hook_(epoch, round);
+  } catch (...) {
+    hook_error = std::current_exception();
+  }
+  lock.lock();
+  esync_arrived_ = 0;
+  ++esync_generation_;
+  esync_cv_.notify_all();
+  if (hook_error) std::rethrow_exception(hook_error);
+}
+
+void Runtime::epoch_arrive(TaskId task, int round) {
+  if (epoch_length_ <= 0) return;
+  ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
+  std::unique_lock lock(esync_mu_);
+  if (esync_retired_[static_cast<std::size_t>(task)]) return;
+  esync_round_ = round;
+  ++esync_arrived_;
+  if (esync_arrived_ == esync_members_) {
+    epoch_fire(lock);
+    return;
+  }
+  const int gen = esync_generation_;
+  esync_cv_.wait(lock, [this, gen] { return esync_generation_ != gen; });
+}
+
+void Runtime::epoch_retire(TaskId task) {
+  if (epoch_length_ <= 0) return;
+  ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
+  std::unique_lock lock(esync_mu_);
+  if (esync_retired_[static_cast<std::size_t>(task)]) return;
+  esync_retired_[static_cast<std::size_t>(task)] = 1;
+  --esync_members_;
+  // The departure may complete a boundary the remaining tasks are parked
+  // at.
+  if (esync_members_ > 0 && esync_arrived_ == esync_members_)
+    epoch_fire(lock);
+}
+
+bool Runtime::rebind_compute_thread(TaskId task, const topo::Bitmap& cpuset) {
+  ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
+  std::lock_guard lock(esync_mu_);
+  const auto& h = compute_handles_[static_cast<std::size_t>(task)];
+  return h && topo::bind_thread(*h, cpuset);
+}
+
+bool Runtime::rebind_control_thread(TaskId task, const topo::Bitmap& cpuset) {
+  ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
+  if (opts_.control != RuntimeOptions::ControlMode::PerTask) return false;
+  std::lock_guard lock(esync_mu_);
+  const auto& h = control_handles_[static_cast<std::size_t>(task)];
+  return h && topo::bind_thread(*h, cpuset);
+}
+
 Handle& Runtime::handle(HandleId h) {
   ORWL_CHECK_MSG(h >= 0 && h < num_handles(), "unknown handle " << h);
   return *handles_[static_cast<std::size_t>(h)];
@@ -144,6 +216,11 @@ void Runtime::shared_control_loop(int pool_index) {
 void Runtime::control_loop(TaskId task) {
   TaskRec& rec = tasks_[static_cast<std::size_t>(task)];
   set_current_thread_name("ctl:" + rec.name);
+  {
+    std::lock_guard lock(esync_mu_);
+    control_handles_[static_cast<std::size_t>(task)] =
+        topo::current_thread_handle();
+  }
   if (rec.control_bind) topo::bind_current_thread(*rec.control_bind);
   while (auto ev = rec.events->pop()) {
     static_cast<Handle*>(ev->request->user)->deliver_grant();
@@ -154,6 +231,14 @@ void Runtime::run() {
   ORWL_CHECK_MSG(!ran_, "Runtime::run() may only be called once");
   ORWL_CHECK_MSG(!tasks_.empty(), "no tasks to run");
   ran_ = true;
+
+  // Epoch barrier population: every task participates until it retires.
+  esync_members_ = num_tasks();
+  esync_arrived_ = 0;
+  esync_generation_ = 0;
+  esync_retired_.assign(tasks_.size(), 0);
+  compute_handles_.assign(tasks_.size(), std::nullopt);
+  control_handles_.assign(tasks_.size(), std::nullopt);
 
   // Canonical priming: initial requests in registration order. This global
   // deterministic order is what makes iterative ORWL programs live.
@@ -181,13 +266,30 @@ void Runtime::run() {
     compute.emplace_back([this, t, &err_mu, &first_error] {
       TaskRec& rec = tasks_[static_cast<std::size_t>(t)];
       set_current_thread_name(rec.name);
+      {
+        std::lock_guard lock(esync_mu_);
+        compute_handles_[static_cast<std::size_t>(t)] =
+            topo::current_thread_handle();
+      }
       if (rec.compute_bind) topo::bind_current_thread(*rec.compute_bind);
       TaskContext ctx(*this, t);
+      const auto record_error = [&] {
+        std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      };
       try {
         rec.fn(ctx);
       } catch (...) {
-        std::lock_guard lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        record_error();
+      }
+      // A body that returned (or threw) makes no further epoch arrivals;
+      // without this, a boundary would wait for it forever. Retiring can
+      // complete a boundary and run the epoch hook here — catch its
+      // exceptions too, or they would escape the thread and terminate.
+      try {
+        epoch_retire(t);
+      } catch (...) {
+        record_error();
       }
     });
   }

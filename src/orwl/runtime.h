@@ -22,7 +22,10 @@
 // Handle registration order defines the canonical initial FIFO insertion
 // order — the ORWL liveness discipline for iterative programs.
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -35,6 +38,7 @@
 #include "orwl/instrument.h"
 #include "orwl/location.h"
 #include "orwl/task.h"
+#include "topo/binding.h"
 #include "topo/bitmap.h"
 
 namespace orwl {
@@ -88,6 +92,39 @@ class Runtime {
   /// Bind a shared-pool control thread (SharedPool mode).
   void set_shared_control_binding(int pool_index, topo::Bitmap cpuset);
 
+  // --- epochs (online re-placement) ---------------------------------------
+  //
+  // An epoch is a window of `epoch_length` iterations. Task bodies built by
+  // the backends call epoch_arrive() between iterations at every epoch
+  // boundary; the arrivals form a barrier over all not-yet-retired tasks.
+  // When the last participant arrives, the installed hook runs in that
+  // thread — with every other participating compute thread parked — and may
+  // inspect the Instrument's epoch window and rebind threads before the
+  // barrier releases. Tasks leave the barrier population with
+  // epoch_retire() (idempotent; called automatically when a task body
+  // returns) so heterogeneous iteration counts cannot deadlock a boundary.
+
+  /// Runs at each epoch boundary: `epoch` counts boundaries from 1, `round`
+  /// is the iteration index about to start.
+  using EpochHook = std::function<void(int epoch, int round)>;
+
+  /// Install the epoch schedule. Call before run(); epoch_length >= 1.
+  void set_epoch_hook(int epoch_length, EpochHook hook);
+  [[nodiscard]] int epoch_length() const { return epoch_length_; }
+
+  /// Barrier arrival at the boundary before iteration `round`. Blocks
+  /// until the boundary completes. No-op when no hook is installed.
+  void epoch_arrive(TaskId task, int round);
+  /// The task will make no further epoch_arrive() calls.
+  void epoch_retire(TaskId task);
+
+  /// Re-bind a live thread mid-run (epoch-hook context: the compute
+  /// threads are parked at the barrier). Returns false when the thread
+  /// cannot be rebound — not yet started, already exited, or (control) not
+  /// running in PerTask mode.
+  bool rebind_compute_thread(TaskId task, const topo::Bitmap& cpuset);
+  bool rebind_control_thread(TaskId task, const topo::Bitmap& cpuset);
+
   // --- accessors ----------------------------------------------------------
 
   [[nodiscard]] int num_tasks() const { return static_cast<int>(tasks_.size()); }
@@ -124,6 +161,8 @@ class Runtime {
   [[nodiscard]] comm::CommMatrix measured_comm_matrix() const;
 
   [[nodiscard]] const Instrument& stats() const { return stats_; }
+  /// Mutable access for epoch-window management (begin_epoch).
+  [[nodiscard]] Instrument& stats() { return stats_; }
 
  private:
   struct TaskRec {
@@ -137,6 +176,9 @@ class Runtime {
   void dispatch_grant(Request& req);  // GrantSink target
   void control_loop(TaskId task);
   void shared_control_loop(int pool_index);
+  /// Complete the current epoch boundary: run the hook (lock released
+  /// while it executes), then wake the parked tasks. Caller holds `lock`.
+  void epoch_fire(std::unique_lock<std::mutex>& lock);
 
   RuntimeOptions opts_;
   std::vector<std::unique_ptr<LocationBuffer>> locations_;
@@ -147,6 +189,22 @@ class Runtime {
   std::vector<std::optional<topo::Bitmap>> shared_bindings_;
   Instrument stats_;
   bool ran_ = false;
+
+  // Epoch barrier state, all guarded by esync_mu_. Thread handles are
+  // registered under the same mutex (compute threads self-register before
+  // their first possible arrival; control handles are recorded before any
+  // compute thread exists), so the hook always sees them.
+  int epoch_length_ = 0;
+  EpochHook epoch_hook_;
+  std::mutex esync_mu_;
+  std::condition_variable esync_cv_;
+  int esync_members_ = 0;     ///< tasks still participating
+  int esync_arrived_ = 0;     ///< arrivals at the current boundary
+  int esync_generation_ = 0;  ///< completed boundaries
+  int esync_round_ = 0;       ///< round of the boundary being formed
+  std::vector<char> esync_retired_;
+  std::vector<std::optional<topo::ThreadHandle>> compute_handles_;
+  std::vector<std::optional<topo::ThreadHandle>> control_handles_;
 };
 
 }  // namespace orwl

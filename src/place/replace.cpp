@@ -1,0 +1,88 @@
+#include "place/replace.h"
+
+#include <cctype>
+#include <utility>
+
+#include "comm/metrics.h"
+#include "support/assert.h"
+
+namespace orwl::place {
+
+const char* to_string(ReplacementPolicy::Mode m) {
+  switch (m) {
+    case ReplacementPolicy::Mode::Off: return "off";
+    case ReplacementPolicy::Mode::EveryEpoch: return "every_epoch";
+    case ReplacementPolicy::Mode::OnDrift: return "on_drift";
+  }
+  return "?";
+}
+
+ReplacementPolicy::Mode parse_replacement_mode(const std::string& name) {
+  std::string s;
+  s.reserve(name.size());
+  for (const char c : name)
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (s == "off") return ReplacementPolicy::Mode::Off;
+  if (s == "every" || s == "every_epoch" || s == "every-epoch")
+    return ReplacementPolicy::Mode::EveryEpoch;
+  if (s == "drift" || s == "on_drift" || s == "on-drift")
+    return ReplacementPolicy::Mode::OnDrift;
+  ORWL_CHECK_MSG(false, "unknown replacement mode '"
+                            << name << "'; known: off|every_epoch|on_drift");
+  return ReplacementPolicy::Mode::Off;  // unreachable
+}
+
+Replacer::Replacer(ReplacementPolicy policy, const topo::Topology& topo,
+                   treematch::Options tm_opts, std::uint64_t seed,
+                   comm::CommMatrix basis)
+    : policy_(policy),
+      topo_(topo),
+      tm_opts_(tm_opts),
+      seed_(seed),
+      basis_(std::move(basis)) {
+  if (policy_.enabled()) {
+    ORWL_CHECK_MSG(policy_.epoch_length >= 1,
+                   "replacement needs an epoch length >= 1, got "
+                       << policy_.epoch_length);
+    ORWL_CHECK_MSG(policy_.drift_threshold >= 0.0 &&
+                       policy_.drift_threshold <= 1.0,
+                   "drift threshold must be in [0, 1], got "
+                       << policy_.drift_threshold);
+  }
+}
+
+Replacer::Decision Replacer::evaluate(const comm::CommMatrix& epoch_matrix) {
+  Decision d;
+  if (!policy_.enabled()) return d;
+  ORWL_CHECK_MSG(epoch_matrix.order() == basis_.order(),
+                 "epoch matrix order " << epoch_matrix.order()
+                                       << " != basis order "
+                                       << basis_.order());
+  if (epoch_matrix.total_volume() == 0.0) return d;  // nothing measured
+
+  d.drift = comm::normalized_distance(epoch_matrix, basis_);
+  const bool fire =
+      policy_.mode == ReplacementPolicy::Mode::EveryEpoch ||
+      (policy_.mode == ReplacementPolicy::Mode::OnDrift &&
+       d.drift > policy_.drift_threshold);
+  if (!fire) return d;
+
+  d.plan = compute_plan(Policy::TreeMatch, topo_, epoch_matrix, tm_opts_,
+                        seed_);
+  d.replaced = true;
+  basis_ = epoch_matrix;
+  ++replacements_;
+  return d;
+}
+
+int count_migrations(const comm::Mapping& from, const comm::Mapping& to) {
+  ORWL_CHECK_MSG(from.size() == to.size(),
+                 "mapping sizes differ: " << from.size() << " vs "
+                                          << to.size());
+  int n = 0;
+  for (std::size_t t = 0; t < from.size(); ++t)
+    if (from[t] != to[t]) ++n;
+  return n;
+}
+
+}  // namespace orwl::place

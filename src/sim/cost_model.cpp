@@ -15,6 +15,7 @@ void LinkCost::check(const topo::Topology& topo) const {
   for (double l : latency) ORWL_CHECK_MSG(l >= 0.0, "negative latency");
   for (double b : bandwidth) ORWL_CHECK_MSG(b > 0.0, "non-positive bandwidth");
   ORWL_CHECK(domain_bandwidth > 0.0 && compute_rate > 0.0);
+  ORWL_CHECK_MSG(migration_cost >= 0.0, "negative migration cost");
 }
 
 LinkCost LinkCost::defaults_for(const topo::Topology& topo) {

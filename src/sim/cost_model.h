@@ -42,6 +42,14 @@ struct LinkCost {
   /// barrier_hop * ceil(log2(P)) * 2 per iteration).
   double barrier_hop = 3e-6;
 
+  /// One-time cost of migrating one thread to a new PU during online
+  /// re-placement (epoch boundary): the setaffinity call, the scheduler
+  /// move, and the warm-cache refill of the thread's hot state. Charged
+  /// per task whose compute PU changed; the colder data penalty (first
+  /// touch does not move) is charged naturally through the remote-memory
+  /// streams of the following epochs.
+  double migration_cost = 20e-6;
+
   /// Validate vector sizes against a topology. Throws ContractError.
   void check(const topo::Topology& topo) const;
 

@@ -3,6 +3,10 @@
 
 #include <optional>
 
+#ifdef __linux__
+#include <pthread.h>
+#endif
+
 #include "topo/bitmap.h"
 
 namespace orwl::topo {
@@ -12,6 +16,22 @@ namespace orwl::topo {
 /// names CPUs that do not exist on this machine. An empty cpuset is
 /// rejected with ContractError.
 bool bind_current_thread(const Bitmap& cpuset);
+
+/// Opaque handle for binding *another* thread (the pthread_t on Linux).
+#ifdef __linux__
+using ThreadHandle = pthread_t;
+#else
+using ThreadHandle = int;
+#endif
+
+/// Handle of the calling thread, for a later bind_thread() from elsewhere.
+ThreadHandle current_thread_handle();
+
+/// Re-bind a (possibly running) thread to `cpuset` — the mid-run migration
+/// primitive the online re-placer uses on parked compute threads and live
+/// control threads. Same failure semantics as bind_current_thread; also
+/// returns false when the target thread has already exited.
+bool bind_thread(ThreadHandle thread, const Bitmap& cpuset);
 
 /// Current affinity mask of the calling thread, or nullopt if it cannot be
 /// queried on this platform.

@@ -12,5 +12,6 @@ Built build_stencil2d(Program& p, const Params& params);
 Built build_wavefront(Program& p, const Params& params);
 Built build_alltoall(Program& p, const Params& params);
 Built build_pipeline(Program& p, const Params& params);
+Built build_phaseshift(Program& p, const Params& params);
 
 }  // namespace orwl::workloads::detail

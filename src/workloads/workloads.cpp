@@ -101,6 +101,11 @@ const std::vector<Workload>& registry() {
        "buffers",
        {.tasks = 4, .size = 4096, .iterations = 16},
        detail::build_pipeline},
+      {"phaseshift",
+       "block-grid stencil that switches to a transpose exchange halfway "
+       "through the run (online re-placement showcase)",
+       {.tasks = 64, .size = 65536, .iterations = 32},
+       detail::build_phaseshift},
   };
   return entries;
 }

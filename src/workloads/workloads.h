@@ -17,7 +17,10 @@
 //               outgoing dependencies), the classic pipelined-DAG shape;
 //   alltoall  — every task publishes a chunk every round and reads every
 //               other task's chunk (the worst case for locality);
-//   pipeline  — a linear stage chain streaming frames hand-to-hand.
+//   pipeline  — a linear stage chain streaming frames hand-to-hand;
+//   phaseshift — block-grid stencil that switches to a transpose exchange
+//               halfway through the run: the demonstration workload for
+//               epoch-based online re-placement (place/replace.h).
 //
 // Every Built workload can verify its numerical result against a
 // sequential reference, bit-for-bit where the decomposition allows it.

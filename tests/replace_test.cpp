@@ -1,0 +1,319 @@
+// Tests for epoch-based online re-placement: the drift metric
+// (comm::normalized_distance), the Replacer decision engine, the runtime
+// epoch barrier (heterogeneous iteration counts, mid-run rebinding), and
+// the end-to-end properties — determinism across repeated runs, on_drift
+// staying quiet on stationary workloads, and the phaseshift workload under
+// on_drift being no slower than the static TreeMatch mapping on the
+// simulated paper machine.
+
+#include <gtest/gtest.h>
+
+#include "comm/metrics.h"
+#include "orwl/backend.h"
+#include "orwl/program.h"
+#include "place/replace.h"
+#include "support/assert.h"
+#include "topo/topology.h"
+#include "workloads/workloads.h"
+
+namespace orwl {
+namespace {
+
+// --------------------------------------------------------------------------
+// Drift metric.
+// --------------------------------------------------------------------------
+
+comm::CommMatrix ring3(double w) {
+  comm::CommMatrix m(3);
+  m.set(0, 1, w);
+  m.set(1, 2, w);
+  return m;
+}
+
+TEST(NormalizedDistance, IdenticalPatternsAreAtZero) {
+  const comm::CommMatrix m = ring3(100.0);
+  EXPECT_DOUBLE_EQ(comm::normalized_distance(m, m), 0.0);
+}
+
+TEST(NormalizedDistance, ScaleInvariant) {
+  // Measuring twice as long must not register as drift.
+  EXPECT_DOUBLE_EQ(comm::normalized_distance(ring3(1.0), ring3(64.0)), 0.0);
+}
+
+TEST(NormalizedDistance, DisjointSupportsAreAtOne) {
+  comm::CommMatrix a(3), b(3);
+  a.set(0, 1, 10.0);
+  b.set(1, 2, 10.0);
+  EXPECT_DOUBLE_EQ(comm::normalized_distance(a, b), 1.0);
+}
+
+TEST(NormalizedDistance, ZeroVolumeRules) {
+  const comm::CommMatrix empty(3);
+  EXPECT_DOUBLE_EQ(comm::normalized_distance(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(comm::normalized_distance(empty, ring3(5.0)), 1.0);
+}
+
+TEST(NormalizedDistance, PartialOverlapIsBetween) {
+  comm::CommMatrix a(3), b(3);
+  a.set(0, 1, 1.0);
+  a.set(1, 2, 1.0);
+  b.set(0, 1, 1.0);
+  b.set(0, 2, 1.0);
+  // Half the mass moved from edge (1,2) to edge (0,2).
+  EXPECT_DOUBLE_EQ(comm::normalized_distance(a, b), 0.5);
+}
+
+TEST(NormalizedDistance, OrderMismatchThrows) {
+  EXPECT_THROW(
+      (void)comm::normalized_distance(comm::CommMatrix(2),
+                                      comm::CommMatrix(3)),
+      ContractError);
+}
+
+// --------------------------------------------------------------------------
+// Policy parsing.
+// --------------------------------------------------------------------------
+
+TEST(ReplacementPolicy, ParseAndToString) {
+  using Mode = place::ReplacementPolicy::Mode;
+  EXPECT_EQ(place::parse_replacement_mode("off"), Mode::Off);
+  EXPECT_EQ(place::parse_replacement_mode("every_epoch"), Mode::EveryEpoch);
+  EXPECT_EQ(place::parse_replacement_mode("EVERY"), Mode::EveryEpoch);
+  EXPECT_EQ(place::parse_replacement_mode("on_drift"), Mode::OnDrift);
+  EXPECT_EQ(place::parse_replacement_mode("drift"), Mode::OnDrift);
+  EXPECT_THROW((void)place::parse_replacement_mode("sometimes"),
+               ContractError);
+  EXPECT_STREQ(place::to_string(Mode::OnDrift), "on_drift");
+  EXPECT_TRUE(place::ReplacementPolicy::on_drift(0.3, 4).enabled());
+  EXPECT_FALSE(place::ReplacementPolicy::off().enabled());
+}
+
+// --------------------------------------------------------------------------
+// Replacer decisions.
+// --------------------------------------------------------------------------
+
+TEST(Replacer, OnDriftFiresOnlyAboveThreshold) {
+  const auto topo = topo::Topology::synthetic("pack:2 core:2 pu:1");
+  const comm::CommMatrix basis = ring3(10.0);
+  place::Replacer replacer(place::ReplacementPolicy::on_drift(0.4, 2), topo,
+                           {}, 42, basis);
+
+  // Same pattern, different scale: drift 0, no fire.
+  auto d = replacer.evaluate(ring3(30.0));
+  EXPECT_DOUBLE_EQ(d.drift, 0.0);
+  EXPECT_FALSE(d.replaced);
+
+  // Disjoint pattern: drift 1, fire; the fresh matrix becomes the basis.
+  comm::CommMatrix shifted(3);
+  shifted.set(0, 2, 10.0);
+  d = replacer.evaluate(shifted);
+  EXPECT_DOUBLE_EQ(d.drift, 1.0);
+  EXPECT_TRUE(d.replaced);
+  EXPECT_EQ(static_cast<int>(d.plan.compute_pu.size()), 3);
+  EXPECT_EQ(replacer.replacements(), 1);
+
+  // The same shifted pattern again: now at distance 0 from the new basis.
+  d = replacer.evaluate(shifted);
+  EXPECT_DOUBLE_EQ(d.drift, 0.0);
+  EXPECT_FALSE(d.replaced);
+}
+
+TEST(Replacer, EveryEpochAlwaysFires) {
+  const auto topo = topo::Topology::synthetic("pack:2 core:2 pu:1");
+  place::Replacer replacer(place::ReplacementPolicy::every_epoch(1), topo,
+                           {}, 42, ring3(1.0));
+  EXPECT_TRUE(replacer.evaluate(ring3(1.0)).replaced);
+  EXPECT_TRUE(replacer.evaluate(ring3(2.0)).replaced);
+  EXPECT_EQ(replacer.replacements(), 2);
+}
+
+TEST(Replacer, EmptyWindowNeverFires) {
+  const auto topo = topo::Topology::synthetic("pack:2 core:2 pu:1");
+  place::Replacer replacer(place::ReplacementPolicy::every_epoch(1), topo,
+                           {}, 42, ring3(1.0));
+  const auto d = replacer.evaluate(comm::CommMatrix(3));
+  EXPECT_FALSE(d.replaced);
+  EXPECT_DOUBLE_EQ(d.drift, 0.0);
+}
+
+TEST(Replacer, CountMigrations) {
+  EXPECT_EQ(place::count_migrations({0, 1, 2}, {0, 1, 2}), 0);
+  EXPECT_EQ(place::count_migrations({0, 1, 2}, {0, 2, 1}), 2);
+  EXPECT_THROW((void)place::count_migrations({0}, {0, 1}), ContractError);
+}
+
+TEST(Replacer, ReplacementWithoutPlacementThrows) {
+  Program p;
+  EXPECT_THROW(p.replacement(place::ReplacementPolicy::on_drift(0.25, 2)),
+               ContractError);
+}
+
+// --------------------------------------------------------------------------
+// End-to-end: simulated paper machine.
+// --------------------------------------------------------------------------
+
+RunReport run_sim(const std::string& workload, const workloads::Params& prm,
+                  place::ReplacementPolicy rp) {
+  Program p;
+  workloads::get(workload).build(p, prm);
+  p.place(place::Policy::TreeMatch);
+  if (rp.enabled()) p.replacement(rp);
+  SimBackend backend(topo::Topology::paper_machine());
+  return p.run(backend);
+}
+
+TEST(OnlineReplacement, DeterministicAcrossRepeatedSimRuns) {
+  const workloads::Params prm{.tasks = 16, .size = 1024, .iterations = 12};
+  const auto rp = place::ReplacementPolicy::on_drift(0.25, 2);
+  const RunReport a = run_sim("phaseshift", prm, rp);
+  const RunReport b = run_sim("phaseshift", prm, rp);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.replacements, b.replacements);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i].drift, b.epochs[i].drift) << "epoch " << i;
+    EXPECT_EQ(a.epochs[i].replaced, b.epochs[i].replaced) << "epoch " << i;
+    EXPECT_EQ(a.epochs[i].compute_pu, b.epochs[i].compute_pu)
+        << "epoch " << i;
+  }
+}
+
+TEST(OnlineReplacement, OnDriftNeverFiresOnStationaryWorkloadSim) {
+  // A stationary pattern drifts by 0 between epochs; the initial basis
+  // (the declared matrix the placement was computed from) matches the
+  // per-window pattern too, so no boundary fires.
+  for (const char* name : {"stencil2d", "alltoall"}) {
+    const RunReport rep =
+        run_sim(name, {.tasks = 8, .size = 64, .iterations = 12},
+                place::ReplacementPolicy::on_drift(0.25, 3));
+    EXPECT_EQ(rep.replacements, 0) << name;
+    EXPECT_FALSE(rep.epochs.empty()) << name;
+    for (const RunReport::EpochRecord& e : rep.epochs) {
+      EXPECT_FALSE(e.replaced) << name << " epoch " << e.epoch;
+      EXPECT_LE(e.drift, 0.25) << name << " epoch " << e.epoch;
+    }
+  }
+}
+
+TEST(OnlineReplacement, PhaseshiftOnDriftFiresExactlyAtTheShift) {
+  const RunReport rep =
+      run_sim("phaseshift", {.tasks = 16, .size = 4096, .iterations = 16},
+              place::ReplacementPolicy::on_drift(0.25, 2));
+  EXPECT_EQ(rep.replacements, 1);
+  // The firing boundary is the first whose window lies in phase B
+  // (H = 8, epoch length 2 -> the window [8, 10) evaluated at round 10).
+  bool fired = false;
+  for (const RunReport::EpochRecord& e : rep.epochs) {
+    if (e.replaced) {
+      fired = true;
+      EXPECT_EQ(e.round, 10);
+      EXPECT_GT(e.drift, 0.25);
+      EXPECT_GT(e.migrated, 0);
+      EXPECT_GT(e.replace_seconds, 0.0);
+    }
+  }
+  EXPECT_TRUE(fired);
+}
+
+// The acceptance property: on the simulated paper machine, phaseshift
+// under on_drift re-placement is no slower than the static TreeMatch
+// mapping (in fact faster — the recorded BENCH_workloads.json shows the
+// margin at the default scale).
+TEST(OnlineReplacement, PhaseshiftOnDriftNoSlowerThanStaticTreeMatch) {
+  const workloads::Params prm = workloads::get("phaseshift").defaults;
+  const RunReport fixed =
+      run_sim("phaseshift", prm, place::ReplacementPolicy::off());
+  const RunReport adaptive =
+      run_sim("phaseshift", prm, place::ReplacementPolicy::on_drift(0.25, 2));
+  EXPECT_EQ(adaptive.replacements, 1);
+  EXPECT_LE(adaptive.seconds, fixed.seconds * 1.001)
+      << "adaptive " << adaptive.seconds << " s vs static " << fixed.seconds
+      << " s";
+}
+
+// --------------------------------------------------------------------------
+// End-to-end: real runtime.
+// --------------------------------------------------------------------------
+
+TEST(OnlineReplacement, RuntimeEpochBarrierAndRebindWork) {
+  const workloads::Params prm{.tasks = 4, .size = 64, .iterations = 6};
+  Program p;
+  const workloads::Built built = workloads::get("phaseshift").build(p, prm);
+  p.place(place::Policy::TreeMatch);
+  p.replacement(place::ReplacementPolicy::every_epoch(2));
+  RuntimeBackend backend;
+  const RunReport rep = p.run(backend);
+  // Boundaries before rounds 2 and 4; every_epoch re-places at each.
+  ASSERT_EQ(rep.epochs.size(), 2u);
+  EXPECT_EQ(rep.epochs[0].round, 2);
+  EXPECT_EQ(rep.epochs[1].round, 4);
+  EXPECT_EQ(rep.replacements, 2);
+  for (const RunReport::EpochRecord& e : rep.epochs)
+    EXPECT_EQ(e.compute_pu.size(), static_cast<std::size_t>(p.num_tasks()));
+  std::string why;
+  EXPECT_TRUE(built.verify(backend, why)) << why;
+}
+
+TEST(OnlineReplacement, RuntimeOnDriftStationaryStaysQuiet) {
+  // alltoall exchanges the identical uniform pattern every round, so no
+  // measured window can drift from the basis.
+  Program p;
+  const workloads::Built built = workloads::get("alltoall").build(
+      p, {.tasks = 4, .size = 32, .iterations = 9});
+  p.place(place::Policy::TreeMatch);
+  p.replacement(place::ReplacementPolicy::on_drift(0.25, 3));
+  RuntimeBackend backend;
+  const RunReport rep = p.run(backend);
+  EXPECT_EQ(rep.replacements, 0);
+  ASSERT_EQ(rep.epochs.size(), 2u);
+  for (const RunReport::EpochRecord& e : rep.epochs)
+    EXPECT_FALSE(e.replaced);
+  std::string why;
+  EXPECT_TRUE(built.verify(backend, why)) << why;
+}
+
+TEST(OnlineReplacement, RuntimeDeterministicReplacementDecisions) {
+  const auto decisions = [] {
+    Program p;
+    workloads::get("phaseshift")
+        .build(p, {.tasks = 4, .size = 64, .iterations = 8});
+    p.place(place::Policy::TreeMatch);
+    p.replacement(place::ReplacementPolicy::on_drift(0.25, 2));
+    RuntimeBackend backend;
+    const RunReport rep = p.run(backend);
+    std::vector<bool> replaced;
+    replaced.reserve(rep.epochs.size());
+    for (const RunReport::EpochRecord& e : rep.epochs)
+      replaced.push_back(e.replaced);
+    return replaced;
+  };
+  const std::vector<bool> a = decisions();
+  const std::vector<bool> b = decisions();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(OnlineReplacement, HeterogeneousIterationCountsCannotDeadlock) {
+  // A task that finishes before later epoch boundaries retires from the
+  // barrier population; the remaining tasks must keep meeting boundaries.
+  Program p;
+  auto a = p.location<long>(1, "a");
+  auto b = p.location<long>(1, "b");
+  p.task("short").writes(a).iterations(3).body([a](Step& s) {
+    s.write(a, [&](std::span<long> x) { x[0] += 1; });
+  });
+  p.task("long").writes(b).iterations(9).body([b](Step& s) {
+    s.write(b, [&](std::span<long> x) { x[0] += 1; });
+  });
+  p.place(place::Policy::Compact);
+  p.replacement(place::ReplacementPolicy::every_epoch(2));
+  RuntimeBackend backend;
+  const RunReport rep = p.run(backend);
+  EXPECT_EQ(backend.fetch(a)[0], 3);
+  EXPECT_EQ(backend.fetch(b)[0], 9);
+  // Boundaries at rounds 2, 4, 6, 8 — the later ones met by "long" alone.
+  EXPECT_EQ(rep.epochs.size(), 4u);
+}
+
+}  // namespace
+}  // namespace orwl

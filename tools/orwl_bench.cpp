@@ -40,6 +40,14 @@ int usage(const char* argv0, int code) {
      << "  --warmup W      warmup runs (default 1)\n"
      << "  --reps R        timed repetitions (default 3)\n"
      << "  --feedback      measured-matrix TreeMatch re-placement phase\n"
+     << "  --replace M     online re-placement: off|every_epoch|on_drift "
+        "(default off);\n"
+     << "                  each case runs twice — static, then with the "
+        "policy — so\n"
+     << "                  the adaptive win is visible side by side\n"
+     << "  --epoch N       epoch length in iterations for --replace "
+        "(default 2)\n"
+     << "  --tau X         on_drift threshold in [0,1] (default 0.25)\n"
      << "  --no-verify     skip result verification\n"
      << "  --seed N        placement / simulation seed (default 42)\n"
      << "  --json PATH     write machine-readable results (BENCH_*.json)\n";
@@ -60,6 +68,8 @@ int main(int argc, char** argv) {
   harness::CaseSpec base;
   bool tasks_set = false, size_set = false, iters_set = false;
   std::string json_path;
+  place::ReplacementPolicy replace;
+  replace.epoch_length = 2;
 
   const auto need_value = [&](std::size_t& i) -> std::string {
     if (i + 1 >= args.size()) {
@@ -74,6 +84,18 @@ int main(int argc, char** argv) {
     try {
       std::size_t used = 0;
       const long v = std::stol(value, &used);
+      if (used == value.size()) return v;
+    } catch (const std::exception&) {
+    }
+    std::cerr << flag << " needs a number, got '" << value << "'\n";
+    std::exit(usage(argv[0], 2));
+  };
+
+  const auto parse_double = [&](const std::string& flag,
+                                const std::string& value) -> double {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(value, &used);
       if (used == value.size()) return v;
     } catch (const std::exception&) {
     }
@@ -109,6 +131,9 @@ int main(int argc, char** argv) {
     else if (a == "--warmup") base.warmup = static_cast<int>(parse_long(a, need_value(i)));
     else if (a == "--reps") base.repetitions = static_cast<int>(parse_long(a, need_value(i)));
     else if (a == "--feedback") base.feedback = true;
+    else if (a == "--replace") replace.mode = place::parse_replacement_mode(need_value(i));
+    else if (a == "--epoch") replace.epoch_length = static_cast<int>(parse_long(a, need_value(i)));
+    else if (a == "--tau") replace.drift_threshold = parse_double(a, need_value(i));
     else if (a == "--no-verify") base.verify = false;
     else if (a == "--seed") base.seed = static_cast<std::uint64_t>(parse_long(a, need_value(i)));
     else if (a == "--json") json_path = need_value(i);
@@ -150,6 +175,14 @@ int main(int argc, char** argv) {
       for (const harness::CaseResult& r :
            harness::run_sweep(spec, policies, backends))
         results.push_back(r);
+      if (replace.enabled()) {
+        // The same grid again with online re-placement, so each adaptive
+        // case sits next to its static twin in the output.
+        spec.replacement = replace;
+        for (const harness::CaseResult& r :
+             harness::run_sweep(spec, policies, backends))
+          results.push_back(r);
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
@@ -157,7 +190,7 @@ int main(int argc, char** argv) {
   }
 
   Table table({"case", "tasks", "time (median ±MAD)", "feedback time",
-               "feedback speedup", "verified"});
+               "feedback speedup", "replaced", "verified"});
   bool all_ok = true;
   for (const harness::CaseResult& r : results) {
     const bool ok = !r.verify_ran || r.verified;
@@ -168,6 +201,10 @@ int main(int argc, char** argv) {
          r.feedback.ran ? fmt_stats(r.feedback.time) : std::string("-"),
          r.feedback.ran ? orwl::fmt(r.feedback.speedup, 2) + "x"
                         : std::string("-"),
+         r.spec.replacement.enabled()
+             ? std::to_string(r.replacements) + "/" +
+                   std::to_string(r.epochs.size())
+             : std::string("-"),
          r.verify_ran ? (r.verified ? "yes" : "NO") : "skipped"});
     if (r.verify_ran && !r.verified)
       std::cerr << harness::case_name(r.spec) << ": verification failed: "
