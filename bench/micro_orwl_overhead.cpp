@@ -1,9 +1,15 @@
 // Table D (micro): ORWL runtime overhead, measured natively — FIFO queue
-// operations, grant cycles in both control modes, contended queues, and
-// shared-read grants. Timing, repetition and JSON emission go through the
-// shared harness (median/MAD over R repetitions after warmup) instead of
-// google-benchmark, so the bench builds everywhere and its output matches
-// the BENCH_*.json layout of the other drivers.
+// operations, grant cycles in both control modes and across wait
+// strategies, contended queues, and shared-read grants. Timing, repetition
+// and JSON emission go through the shared harness (median/MAD over R
+// repetitions after warmup) instead of google-benchmark, so the bench
+// builds everywhere and its output matches the BENCH_*.json layout of the
+// other drivers.
+//
+// The wait-strategy sweep records block vs spin_then_park for both direct
+// and control-thread grant delivery — the cases the lock-cheap core
+// refactor is judged by (an uncontended grant is one atomic load; a
+// contended one parks on the request state itself).
 //
 //   micro_orwl_overhead [--reps R] [--warmup W] [--json PATH]
 
@@ -19,6 +25,7 @@
 #include "orwl/runtime.h"
 #include "support/table.h"
 #include "support/time.h"
+#include "sync/wait_strategy.h"
 
 namespace {
 
@@ -28,6 +35,7 @@ using namespace orwl;
 /// returns the elapsed seconds.
 struct Micro {
   std::string name;
+  std::string wait;  ///< wait strategy in force ("" = not applicable)
   double items = 0;
   std::function<double()> once;
 };
@@ -35,9 +43,10 @@ struct Micro {
 // Raw queue cycle: insert -> (granted) -> release_and_renew, no threads.
 Micro queue_renew_cycle() {
   const int cycles = 200000;
-  return {"queue_renew_cycle", static_cast<double>(cycles), [cycles] {
+  return {"queue_renew_cycle", "", static_cast<double>(cycles), [cycles] {
             int grants = 0;
-            FifoQueue q([&](Request&) { ++grants; });
+            GrantFn sink([&grants](Request&) { ++grants; });
+            FifoQueue q(&sink);
             Request slots[2];
             slots[0].mode = AccessMode::Write;
             slots[1].mode = AccessMode::Write;
@@ -55,10 +64,12 @@ Micro queue_renew_cycle() {
 }
 
 /// N writer tasks round-robin on one location for `rounds` grants each.
-double run_writers(RuntimeOptions::ControlMode mode, int writers, int rounds) {
+double run_writers(RuntimeOptions::ControlMode mode, sync::WaitStrategy wait,
+                   int writers, int rounds) {
   RuntimeOptions opts;
   opts.control = mode;
   opts.record_flows = false;
+  opts.wait = wait;
   Runtime rt(opts);
   const LocationId loc = rt.add_location(64);
   for (int i = 0; i < writers; ++i) {
@@ -80,23 +91,29 @@ double run_writers(RuntimeOptions::ControlMode mode, int writers, int rounds) {
 }
 
 // End-to-end grant latency: two tasks alternate on one location; a full
-// request->control->deliver->acquire->release cycle per item.
-Micro runtime_alternation(bool per_task_control) {
+// request->control->deliver->acquire->release cycle per item. The
+// wait-strategy sweep emits one case per (delivery mode, strategy); the
+// block cases keep their historical unsuffixed names so they stay
+// comparable across recordings.
+Micro runtime_alternation(bool per_task_control, sync::WaitStrategy wait,
+                          bool suffix_strategy) {
   const int rounds = 2000;
   const auto mode = per_task_control ? RuntimeOptions::ControlMode::PerTask
                                      : RuntimeOptions::ControlMode::Direct;
-  return {std::string("runtime_alternation/") +
-              (per_task_control ? "control-threads" : "direct"),
-          2.0 * rounds,
-          [mode, rounds] { return run_writers(mode, 2, rounds); }};
+  std::string name = std::string("runtime_alternation/") +
+                     (per_task_control ? "control-threads" : "direct");
+  if (suffix_strategy) name += "/" + sync::to_string(wait);
+  return {std::move(name), sync::to_string(wait), 2.0 * rounds,
+          [mode, wait, rounds] { return run_writers(mode, wait, 2, rounds); }};
 }
 
 Micro runtime_contention(int writers) {
   const int rounds = 500;
   return {"runtime_contention/" + std::to_string(writers),
+          sync::to_string(sync::WaitStrategy::block()),
           static_cast<double>(writers) * rounds, [writers, rounds] {
-            return run_writers(RuntimeOptions::ControlMode::Direct, writers,
-                               rounds);
+            return run_writers(RuntimeOptions::ControlMode::Direct,
+                               sync::WaitStrategy::block(), writers, rounds);
           }};
 }
 
@@ -104,6 +121,7 @@ Micro runtime_contention(int writers) {
 Micro runtime_shared_reads(int readers) {
   const int rounds = 500;
   return {"runtime_shared_reads/" + std::to_string(readers),
+          sync::to_string(sync::WaitStrategy::block()),
           static_cast<double>(readers + 1) * rounds, [readers, rounds] {
             RuntimeOptions opts;
             opts.control = RuntimeOptions::ControlMode::Direct;
@@ -157,10 +175,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const sync::WaitStrategy kBlock = sync::WaitStrategy::block();
+  const sync::WaitStrategy kSpinThenPark =
+      sync::WaitStrategy::spin_then_park();
+
   std::vector<Micro> micros;
   micros.push_back(queue_renew_cycle());
-  micros.push_back(runtime_alternation(false));
-  micros.push_back(runtime_alternation(true));
+  // Wait-strategy sweep: block (historical unsuffixed names) vs
+  // spin_then_park, for both grant-delivery modes.
+  micros.push_back(runtime_alternation(false, kBlock, false));
+  micros.push_back(runtime_alternation(true, kBlock, false));
+  micros.push_back(runtime_alternation(false, kSpinThenPark, true));
+  micros.push_back(runtime_alternation(true, kSpinThenPark, true));
   for (int n : {2, 4, 8}) micros.push_back(runtime_contention(n));
   for (int n : {2, 4, 8}) micros.push_back(runtime_shared_reads(n));
 
@@ -193,6 +219,8 @@ int main(int argc, char** argv) {
           for (const Row& row : rows) {
             json.begin_object();
             json.member("name", row.micro.name);
+            if (!row.micro.wait.empty())
+              json.member("wait_strategy", row.micro.wait);
             json.member("items", row.micro.items);
             json.member("seconds_median", row.stats.median);
             json.member("seconds_mad", row.stats.mad);

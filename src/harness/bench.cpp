@@ -103,6 +103,7 @@ std::string case_name(const CaseSpec& spec) {
   if (spec.replacement.enabled())
     name += std::string("/replace:") +
             place::to_string(spec.replacement.mode);
+  if (spec.wait) name += "/wait:" + sync::to_string(*spec.wait);
   return name;
 }
 
@@ -138,6 +139,7 @@ CaseResult run_case(const CaseSpec& spec) {
     p.place(policy, {}, spec.seed);
     if (matrix) p.place_using(*matrix);
     if (spec.replacement.enabled()) p.replacement(spec.replacement);
+    if (spec.wait) p.wait_strategy(*spec.wait);
     const RunReport rep = p.run(backend);
     res.grants = rep.grants;
     res.placed = rep.placed;
@@ -238,6 +240,8 @@ void write_json(std::ostream& os, const std::vector<CaseResult>& results) {
       json.member("num_tasks", r.num_tasks);
       json.member("warmup", r.spec.warmup);
       json.member("repetitions", r.spec.repetitions);
+      json.member("wait_strategy", r.spec.wait ? sync::to_string(*r.spec.wait)
+                                               : std::string("default"));
       json.member("grants", r.grants);
       json.member("placed", r.placed);
       write_stats(json, "seconds", r.time);

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "orwl/backend.h"
 #include "place/placement.h"
 #include "place/replace.h"
+#include "sync/wait_strategy.h"
 #include "workloads/workloads.h"
 
 namespace orwl::harness {
@@ -51,6 +53,10 @@ struct CaseSpec {
   /// Check the result against the workload's sequential reference.
   bool verify = true;
   std::uint64_t seed = 42;
+  /// Wait strategy for runtime-backend execution (Program::wait_strategy):
+  /// block, spin, or spin_then_park. Unset = the runtime default (block).
+  /// Ignored by the sim backend.
+  std::optional<sync::WaitStrategy> wait;
 };
 
 /// Timings of the feedback (measured-matrix TreeMatch) phase.

@@ -99,7 +99,12 @@ RuntimeBackend::RuntimeBackend(RuntimeOptions opts, topo::Topology topo)
     : opts_(opts), topo_(std::move(topo)) {}
 
 RunReport RuntimeBackend::run(const Program& program) {
-  rt_ = std::make_unique<Runtime>(opts_);
+  RuntimeOptions opts = opts_;
+  // The program's wait-strategy knob beats the backend default: the knob
+  // travels with the declaration, so one Program can be swept across
+  // strategies without reconstructing backends.
+  if (program.wait_strategy()) opts.wait = *program.wait_strategy();
+  rt_ = std::make_unique<Runtime>(opts);
   build_runtime(program, *rt_);
   apply_inits(program, *rt_);
 

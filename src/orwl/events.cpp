@@ -1,5 +1,7 @@
 #include "orwl/events.h"
 
+#include "sync/waiter.h"
+
 namespace orwl {
 
 void EventQueue::post(Event ev) {
@@ -7,16 +9,27 @@ void EventQueue::post(Event ev) {
     std::lock_guard lock(mu_);
     events_.push_back(ev);
   }
-  cv_.notify_one();
+  seq_.fetch_add(1, std::memory_order_release);
+  sync::notify_one(seq_);
 }
 
 std::optional<Event> EventQueue::pop() {
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return stopped_ || !events_.empty(); });
-  if (events_.empty()) return std::nullopt;
-  Event ev = events_.front();
-  events_.pop_front();
-  return ev;
+  for (;;) {
+    // Read the sequence BEFORE inspecting the backlog: a post that lands
+    // after the (empty) inspection has bumped seq_ past `s`, so the wait
+    // below returns immediately instead of missing the wake.
+    const std::uint32_t s = seq_.load(std::memory_order_acquire);
+    {
+      std::lock_guard lock(mu_);
+      if (!events_.empty()) {
+        Event ev = events_.front();
+        events_.pop_front();
+        return ev;
+      }
+      if (stopped_) return std::nullopt;
+    }
+    (void)sync::wait_while_equal(seq_, s, wait_);
+  }
 }
 
 void EventQueue::stop() {
@@ -24,7 +37,8 @@ void EventQueue::stop() {
     std::lock_guard lock(mu_);
     stopped_ = true;
   }
-  cv_.notify_all();
+  seq_.fetch_add(1, std::memory_order_release);
+  sync::notify_all(seq_);
 }
 
 std::size_t EventQueue::pending() const {

@@ -4,13 +4,21 @@
 // is *announced* to the owning task's control thread, which performs the
 // delivery (waking the compute thread). Binding these control threads well
 // is half of the paper's placement problem.
+//
+// The consumer parks on an atomic sequence word through the shared sync::
+// waiter (same wait-strategy knob as every other parking point of the
+// core) instead of a condition variable: post() bumps the sequence and
+// notifies; pop() re-checks the backlog whenever the sequence moves, so a
+// post between the backlog check and the park is never missed.
 
-#include <condition_variable>
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 
 #include "orwl/fwd.h"
+#include "sync/wait_strategy.h"
 
 namespace orwl {
 
@@ -24,7 +32,7 @@ struct Event {
 /// Unbounded MPSC event queue with blocking pop and shutdown.
 class EventQueue {
  public:
-  EventQueue() = default;
+  explicit EventQueue(sync::WaitStrategy wait = {}) : wait_(wait) {}
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
@@ -45,9 +53,11 @@ class EventQueue {
 
  private:
   mutable std::mutex mu_;
-  std::condition_variable cv_;
   std::deque<Event> events_;
   bool stopped_ = false;
+  /// Bumped (release) on every post/stop; the consumer parks on it.
+  std::atomic<std::uint32_t> seq_{0};
+  sync::WaitStrategy wait_;
 };
 
 }  // namespace orwl

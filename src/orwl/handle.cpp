@@ -1,35 +1,45 @@
 #include "orwl/handle.h"
 
 #include "support/assert.h"
+#include "sync/waiter.h"
 
 namespace orwl {
 
-Handle::Handle(HandleId id, TaskId task, LocationBuffer& location, AccessMode mode)
-    : id_(id), task_(task), location_(location), mode_(mode) {
+Handle::Handle(HandleId id, TaskId task, LocationBuffer& location,
+               AccessMode mode, sync::WaitStrategy wait)
+    : id_(id), task_(task), location_(location), mode_(mode), wait_(wait) {
   for (Request& r : slots_) {
     r.mode = mode;
     r.owner = task;
     r.handle = id;
     r.location = location.id();
-    r.user = this;
   }
 }
 
 void Handle::request() {
   ORWL_CHECK_MSG(!acquired_, "request() while holding the lock; use "
                              "release_and_renew() instead");
-  ORWL_CHECK_MSG(current().state == RequestState::Inactive,
+  ORWL_CHECK_MSG(current().state.load(std::memory_order_relaxed) ==
+                     RequestState::Inactive,
                  "handle " << id_ << " already has a request in flight");
   location_.queue().insert(current());
 }
 
 std::span<std::byte> Handle::acquire() {
   ORWL_CHECK_MSG(!acquired_, "acquire() while already holding the lock");
-  ORWL_CHECK_MSG(current().state != RequestState::Inactive,
+  Request& cur = current();
+  RequestState s = cur.state.load(std::memory_order_acquire);
+  ORWL_CHECK_MSG(s != RequestState::Inactive,
                  "acquire() without a prior request()");
-  {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return delivered_; });
+  // Fast path: the grant was already made (and published with release
+  // ordering by the queue) — consume it with this one acquire load.
+  // Otherwise park on the state word until delivery notifies. The only
+  // transition out of Requested is to Granted, so one wait suffices.
+  if (s != RequestState::Granted) {
+    s = sync::wait_while_equal(cur.state, RequestState::Requested, wait_);
+    ORWL_CHECK_MSG(s == RequestState::Granted,
+                   "request state corrupted while waiting (state "
+                       << static_cast<int>(s) << ")");
   }
   acquired_ = true;
   return location_.data();
@@ -41,26 +51,18 @@ std::span<const std::byte> Handle::acquire_const() {
 }
 
 bool Handle::test() const {
-  std::lock_guard lock(mu_);
-  return delivered_;
+  return current().state.load(std::memory_order_acquire) ==
+         RequestState::Granted;
 }
 
 void Handle::release() {
   ORWL_CHECK_MSG(acquired_, "release() without acquire()");
-  {
-    std::lock_guard lock(mu_);
-    delivered_ = false;
-  }
   acquired_ = false;
   location_.queue().release(current());
 }
 
 void Handle::release_and_renew() {
   ORWL_CHECK_MSG(acquired_, "release_and_renew() without acquire()");
-  {
-    std::lock_guard lock(mu_);
-    delivered_ = false;
-  }
   acquired_ = false;
   // The spare slot becomes the next-iteration request; it may be granted
   // (and delivered) before release_and_renew returns.
@@ -68,14 +70,6 @@ void Handle::release_and_renew() {
   Request& next = spare();
   active_ ^= 1;
   location_.queue().release_and_renew(cur, next);
-}
-
-void Handle::deliver_grant() {
-  {
-    std::lock_guard lock(mu_);
-    delivered_ = true;
-  }
-  cv_.notify_one();
 }
 
 }  // namespace orwl

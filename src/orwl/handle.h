@@ -13,19 +13,25 @@
 //
 // A handle keeps two Request slots and alternates between them so a renewal
 // can be in flight while the current grant is still held.
+//
+// There is no per-handle mutex: acquire() parks directly on the active
+// Request's atomic state through the sync:: waiter, and grant delivery is
+// a notify on that atomic. An uncontended acquire (grant already made) is
+// one acquire load.
 
-#include <condition_variable>
-#include <mutex>
 #include <span>
 
 #include "orwl/location.h"
 #include "orwl/queue.h"
+#include "sync/wait_strategy.h"
+#include "sync/waiter.h"
 
 namespace orwl {
 
 class Handle {
  public:
-  Handle(HandleId id, TaskId task, LocationBuffer& location, AccessMode mode);
+  Handle(HandleId id, TaskId task, LocationBuffer& location, AccessMode mode,
+         sync::WaitStrategy wait = {});
 
   Handle(const Handle&) = delete;
   Handle& operator=(const Handle&) = delete;
@@ -50,7 +56,9 @@ class Handle {
   /// conversion.
   std::span<const std::byte> acquire_const();
 
-  /// Non-blocking poll: true when the grant has been delivered.
+  /// Non-blocking poll: true when the grant has been made (it may still be
+  /// in flight through a control thread's event queue — the waiter does
+  /// not need the notify once the state reads Granted).
   [[nodiscard]] bool test() const;
 
   /// Release without renewing (last iteration / manual protocols).
@@ -63,25 +71,25 @@ class Handle {
   [[nodiscard]] bool acquired() const { return acquired_; }
 
   /// Grant delivery — called by the runtime (directly or from a control
-  /// thread). Not for user code.
-  void deliver_grant();
+  /// thread): wakes the waiter parked on the request's state. The Granted
+  /// store has already been published by the queue; delivery only
+  /// notifies. Not for user code.
+  static void deliver_grant(Request& req) { sync::notify_all(req.state); }
 
  private:
   Request& current() { return slots_[active_]; }
+  [[nodiscard]] const Request& current() const { return slots_[active_]; }
   Request& spare() { return slots_[active_ ^ 1]; }
 
   HandleId id_;
   TaskId task_;
   LocationBuffer& location_;
   AccessMode mode_;
+  sync::WaitStrategy wait_;
 
   Request slots_[2];
   int active_ = 0;
   bool acquired_ = false;  // owner-thread view; no lock needed
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool delivered_ = false;
 };
 
 /// Typed view helper: reinterpret a byte span as a span of T.

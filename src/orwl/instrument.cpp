@@ -1,54 +1,70 @@
 #include "orwl/instrument.h"
 
 #include "support/assert.h"
+#include "support/thread.h"
 
 namespace orwl {
 
-Instrument::Instrument(int num_tasks) : flows_(num_tasks) {}
+Instrument::Instrument(int num_tasks) : order_(num_tasks) {
+  for (FlowShard& s : shards_) s.flows.resize(num_tasks);
+}
 
 void Instrument::resize(int num_tasks) {
-  std::lock_guard lock(mu_);
-  ORWL_CHECK_MSG(num_tasks >= flows_.order(),
+  ORWL_CHECK_MSG(num_tasks >= order_,
                  "instrument cannot shrink below recorded tasks");
-  flows_.resize(num_tasks);
+  order_ = num_tasks;
+  for (FlowShard& s : shards_) {
+    std::lock_guard lock(s.mu);
+    s.flows.resize(num_tasks);
+  }
 }
 
 void Instrument::record_grant(AccessMode mode) {
-  auto& ctr = mode == AccessMode::Read ? read_grants_ : write_grants_;
-  ctr.fetch_add(1, std::memory_order_relaxed);
+  (mode == AccessMode::Read ? read_grants_ : write_grants_).add(1);
 }
 
-void Instrument::record_release() {
-  releases_.fetch_add(1, std::memory_order_relaxed);
-}
+void Instrument::record_release() { releases_.add(1); }
 
 void Instrument::record_flow(TaskId from, TaskId to, std::size_t bytes) {
   if (from < 0 || to < 0 || from == to || bytes == 0) return;
-  std::lock_guard lock(mu_);
-  if (from >= flows_.order() || to >= flows_.order()) return;
-  flows_.add(from, to, static_cast<double>(bytes));
+  FlowShard& shard =
+      shards_[static_cast<std::size_t>(current_thread_index()) &
+              (kFlowShards - 1)];
+  std::lock_guard lock(shard.mu);
+  if (from >= shard.flows.order() || to >= shard.flows.order()) return;
+  shard.flows.add(from, to, static_cast<double>(bytes));
 }
 
 comm::CommMatrix Instrument::flow_matrix() const {
-  std::lock_guard lock(mu_);
-  return flows_;
+  comm::CommMatrix total;
+  for (const FlowShard& s : shards_) {
+    std::lock_guard lock(s.mu);
+    if (total.order() < s.flows.order()) total.resize(s.flows.order());
+    for (int i = 0; i < s.flows.order(); ++i)
+      for (int j = i + 1; j < s.flows.order(); ++j) {
+        const double v = s.flows.at(i, j);
+        if (v != 0.0) total.add(i, j, v);
+      }
+  }
+  return total;
 }
 
 void Instrument::begin_epoch() {
-  std::lock_guard lock(mu_);
-  epoch_base_ = flows_;
+  comm::CommMatrix snapshot = flow_matrix();
+  std::lock_guard lock(epoch_mu_);
+  epoch_base_ = std::move(snapshot);
 }
 
 comm::CommMatrix Instrument::epoch_flow_matrix() const {
-  std::lock_guard lock(mu_);
-  comm::CommMatrix delta(flows_.order());
-  for (int i = 0; i < flows_.order(); ++i) {
-    for (int j = i + 1; j < flows_.order(); ++j) {
-      const double base =
-          i < epoch_base_.order() && j < epoch_base_.order()
-              ? epoch_base_.at(i, j)
-              : 0.0;
-      const double d = flows_.at(i, j) - base;
+  const comm::CommMatrix now = flow_matrix();
+  std::lock_guard lock(epoch_mu_);
+  comm::CommMatrix delta(now.order());
+  for (int i = 0; i < now.order(); ++i) {
+    for (int j = i + 1; j < now.order(); ++j) {
+      const double base = i < epoch_base_.order() && j < epoch_base_.order()
+                              ? epoch_base_.at(i, j)
+                              : 0.0;
+      const double d = now.at(i, j) - base;
       if (d > 0.0) delta.set(i, j, d);
     }
   }

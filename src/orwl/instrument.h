@@ -4,13 +4,20 @@
 // "We exploit application information as it is gathered from ORWL runtime
 // to construct a weighted matrix that expresses the communication volume
 // between threads" (paper, Sec. II).
+//
+// The write paths run on the grant hot path (with a location queue lock
+// held), so there is no global instrument mutex: the grant/release
+// counters are cache-line-padded sharded counters (sync/sharded_counter.h)
+// and the flow matrix is striped into per-thread shards, each with its own
+// (practically uncontended) lock. Readers — reports, epoch boundaries —
+// flush by summing the shards; they are rare and off the hot path.
 
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 
 #include "comm/comm_matrix.h"
 #include "orwl/fwd.h"
+#include "sync/sharded_counter.h"
 
 namespace orwl {
 
@@ -19,6 +26,7 @@ class Instrument {
   explicit Instrument(int num_tasks);
 
   /// Grow the matrix when tasks are added after construction.
+  /// Construction-phase only: must not race record_flow.
   void resize(int num_tasks);
 
   void record_grant(AccessMode mode);
@@ -29,16 +37,15 @@ class Instrument {
   void record_flow(TaskId from, TaskId to, std::size_t bytes);
 
   [[nodiscard]] std::uint64_t read_grants() const {
-    return read_grants_.load(std::memory_order_relaxed);
+    return read_grants_.read();
   }
   [[nodiscard]] std::uint64_t write_grants() const {
-    return write_grants_.load(std::memory_order_relaxed);
+    return write_grants_.read();
   }
-  [[nodiscard]] std::uint64_t releases() const {
-    return releases_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] std::uint64_t releases() const { return releases_.read(); }
 
-  /// Symmetric matrix of bytes exchanged between tasks so far.
+  /// Symmetric matrix of bytes exchanged between tasks so far (the flush:
+  /// sums the per-thread shards).
   [[nodiscard]] comm::CommMatrix flow_matrix() const;
 
   // --- epoch windows (online re-placement, place/replace.h) ---------------
@@ -55,12 +62,21 @@ class Instrument {
   [[nodiscard]] comm::CommMatrix epoch_flow_matrix() const;
 
  private:
-  std::atomic<std::uint64_t> read_grants_{0};
-  std::atomic<std::uint64_t> write_grants_{0};
-  std::atomic<std::uint64_t> releases_{0};
-  mutable std::mutex mu_;
-  comm::CommMatrix flows_;
-  comm::CommMatrix epoch_base_;  ///< snapshot of flows_ at begin_epoch()
+  static constexpr int kFlowShards = 8;  // power of two (mask indexing)
+
+  struct alignas(sync::kCacheLine) FlowShard {
+    mutable std::mutex mu;
+    comm::CommMatrix flows;
+  };
+
+  sync::ShardedCounter read_grants_;
+  sync::ShardedCounter write_grants_;
+  sync::ShardedCounter releases_;
+  FlowShard shards_[kFlowShards];
+  int order_ = 0;  ///< construction-phase only (resize before run)
+
+  mutable std::mutex epoch_mu_;
+  comm::CommMatrix epoch_base_;  ///< flow_matrix() snapshot at begin_epoch()
 };
 
 }  // namespace orwl

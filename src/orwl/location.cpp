@@ -3,10 +3,10 @@
 namespace orwl {
 
 LocationBuffer::LocationBuffer(LocationId id, std::size_t bytes, std::string name,
-                   GrantSink on_grant)
+                   GrantSink* sink)
     : id_(id),
       name_(std::move(name)),
       data_(bytes),
-      queue_(std::move(on_grant)) {}
+      queue_(sink) {}
 
 }  // namespace orwl

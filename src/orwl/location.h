@@ -16,9 +16,10 @@ namespace orwl {
 
 class LocationBuffer {
  public:
-  /// `bytes` may be zero (pure synchronization location).
+  /// `bytes` may be zero (pure synchronization location). `sink` is
+  /// non-owning (the Runtime) and must outlive the buffer.
   LocationBuffer(LocationId id, std::size_t bytes, std::string name,
-           GrantSink on_grant);
+           GrantSink* sink);
 
   LocationBuffer(const LocationBuffer&) = delete;
   LocationBuffer& operator=(const LocationBuffer&) = delete;

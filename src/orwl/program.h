@@ -384,6 +384,17 @@ class Program {
     place_matrix_ = std::move(measured);
   }
 
+  /// Wait-strategy knob for real execution (RuntimeBackend): how this
+  /// program's compute threads, control threads and epoch barrier wait —
+  /// block, spin, or spin-then-park (sync/wait_strategy.h). Unset leaves
+  /// the backend's RuntimeOptions default in force. SimBackend ignores it
+  /// (the analytic lock model does not distinguish parking disciplines).
+  void wait_strategy(sync::WaitStrategy ws) { wait_ = ws; }
+  [[nodiscard]] const std::optional<sync::WaitStrategy>& wait_strategy()
+      const {
+    return wait_;
+  }
+
   /// Enable online adaptive re-placement (place/replace.h): the backend
   /// accumulates the communication matrix per epoch of
   /// `rp.epoch_length` iterations and, per the policy, re-runs Algorithm 1
@@ -457,6 +468,7 @@ class Program {
   std::vector<InitHook> inits_;
   std::optional<place::Policy> policy_;
   std::optional<comm::CommMatrix> place_matrix_;
+  std::optional<sync::WaitStrategy> wait_;
   place::ReplacementPolicy replacement_;
   treematch::Options tm_opts_;
   std::uint64_t place_seed_ = 42;

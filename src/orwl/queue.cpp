@@ -6,74 +6,116 @@
 
 namespace orwl {
 
-FifoQueue::FifoQueue(GrantSink on_grant) : on_grant_(std::move(on_grant)) {
-  ORWL_CHECK_MSG(on_grant_ != nullptr, "FifoQueue needs a grant sink");
+namespace {
+
+#ifndef NDEBUG
+/// Queue this thread is currently announcing grants for; the documented
+/// "must not re-enter the queue" sink contract becomes a debug assert
+/// instead of a silent recursive-mutex deadlock.
+thread_local const FifoQueue* tl_announcing = nullptr;
+#endif
+
+RequestState state_of(const Request& req) {
+  return req.state.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void FifoQueue::check_not_reentered() const {
+#ifndef NDEBUG
+  ORWL_CHECK_MSG(tl_announcing != this,
+                 "grant sink re-entered its own FifoQueue — sinks must "
+                 "only announce, never call back into the queue");
+#endif
+}
+
+FifoQueue::FifoQueue(GrantSink* sink) : sink_(sink) {
+  ORWL_CHECK_MSG(sink_ != nullptr, "FifoQueue needs a grant sink");
 }
 
 void FifoQueue::insert(Request& req) {
+  check_not_reentered();
   std::lock_guard lock(mu_);
   insert_locked(req);
 }
 
 void FifoQueue::insert_locked(Request& req) {
-  ORWL_CHECK_MSG(req.state == RequestState::Inactive,
+  ORWL_CHECK_MSG(state_of(req) == RequestState::Inactive,
                  "request already queued (state "
-                     << static_cast<int>(req.state) << ")");
+                     << static_cast<int>(state_of(req)) << ")");
   req.ticket = next_ticket_++;
-  req.state = RequestState::Requested;
+  // Relaxed: only the owning thread consumes Requested, and it issued (or
+  // is issuing) this very call.
+  req.state.store(RequestState::Requested, std::memory_order_relaxed);
   queue_.push_back(&req);
   advance_locked();
 }
 
 void FifoQueue::release(Request& req) {
+  check_not_reentered();
   std::lock_guard lock(mu_);
   release_locked(req);
   advance_locked();
 }
 
 void FifoQueue::release_and_renew(Request& current, Request& next) {
+  check_not_reentered();
   std::lock_guard lock(mu_);
   ORWL_CHECK_MSG(&current != &next,
                  "release_and_renew needs two distinct requests");
-  ORWL_CHECK_MSG(current.state == RequestState::Granted,
+  ORWL_CHECK_MSG(state_of(current) == RequestState::Granted,
                  "cannot renew a request that is not granted");
   // Order matters: the renewal must take its FIFO position before the
   // release lets any later request advance past it.
-  ORWL_CHECK_MSG(next.state == RequestState::Inactive,
+  ORWL_CHECK_MSG(state_of(next) == RequestState::Inactive,
                  "renewal request already queued");
   next.ticket = next_ticket_++;
-  next.state = RequestState::Requested;
+  next.state.store(RequestState::Requested, std::memory_order_relaxed);
   queue_.push_back(&next);
   release_locked(current);
   advance_locked();
 }
 
 void FifoQueue::release_locked(Request& req) {
-  ORWL_CHECK_MSG(req.state == RequestState::Granted,
+  ORWL_CHECK_MSG(state_of(req) == RequestState::Granted,
                  "releasing a request that is not granted (state "
-                     << static_cast<int>(req.state) << ")");
+                     << static_cast<int>(state_of(req)) << ")");
   const auto it = std::find(queue_.begin(), queue_.end(), &req);
   ORWL_CHECK_MSG(it != queue_.end(), "released request not in queue");
   queue_.erase(it);
-  req.state = RequestState::Inactive;
+  req.state.store(RequestState::Inactive, std::memory_order_relaxed);
 }
 
 void FifoQueue::advance_locked() {
   if (queue_.empty()) return;
+#ifndef NDEBUG
+  // RAII so a throwing sink (or the re-entrancy assert itself) cannot
+  // leave the thread-local marker stale.
+  struct AnnounceScope {
+    const FifoQueue* prev;
+    explicit AnnounceScope(const FifoQueue* q) : prev(tl_announcing) {
+      tl_announcing = q;
+    }
+    ~AnnounceScope() { tl_announcing = prev; }
+  } announce_scope(this);
+#endif
   // Grant frontier: head Write alone, or the maximal head run of Reads.
+  // Granted is stored with release ordering: the next holder's acquire
+  // load of the state is what publishes the previous holder's writes to
+  // the location buffer.
   if (queue_.front()->mode == AccessMode::Write) {
     Request& head = *queue_.front();
-    if (head.state == RequestState::Requested) {
-      head.state = RequestState::Granted;
-      on_grant_(head);
+    if (state_of(head) == RequestState::Requested) {
+      head.state.store(RequestState::Granted, std::memory_order_release);
+      sink_->on_grant(head);
     }
-    return;
-  }
-  for (Request* req : queue_) {
-    if (req->mode != AccessMode::Read) break;
-    if (req->state == RequestState::Requested) {
-      req->state = RequestState::Granted;
-      on_grant_(*req);
+  } else {
+    for (Request* req : queue_) {
+      if (req->mode != AccessMode::Read) break;
+      if (state_of(*req) == RequestState::Requested) {
+        req->state.store(RequestState::Granted, std::memory_order_release);
+        sink_->on_grant(*req);
+      }
     }
   }
 }
@@ -88,7 +130,7 @@ std::vector<FifoQueue::Entry> FifoQueue::snapshot() const {
   std::vector<Entry> out;
   out.reserve(queue_.size());
   for (const Request* req : queue_)
-    out.push_back({req->ticket, req->mode, req->state});
+    out.push_back({req->ticket, req->mode, state_of(*req)});
   return out;
 }
 

@@ -7,22 +7,29 @@
 // alone (exclusive). Releasing a granted request removes it and advances
 // the grant frontier.
 //
-// Grants are *announced* through a callback so the runtime can route them
-// through control threads (the decentralized event-based design the paper
-// describes) or deliver them directly.
+// Grants are *announced* through the non-allocating GrantSink interface so
+// the runtime can route them through control threads (the decentralized
+// event-based design the paper describes) or deliver them directly.
+//
+// Request.state is an atomic the waiting compute thread parks on directly
+// (sync/waiter.h): the queue stores Granted (release) under its lock, the
+// delivery path notifies, and an uncontended grant is consumed with a
+// single acquire load — no per-handle mutex anywhere on the grant path.
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "orwl/fwd.h"
 
 namespace orwl {
 
-/// State of a request in its location FIFO.
-enum class RequestState : std::uint8_t {
+/// State of a request in its location FIFO. 32-bit so the waiter's park
+/// maps onto a futex (see sync/waiter.h).
+enum class RequestState : std::uint32_t {
   Inactive,   ///< not in any queue
   Requested,  ///< queued, not yet at the grant frontier
   Granted,    ///< lock held; data may be accessed
@@ -30,23 +37,68 @@ enum class RequestState : std::uint8_t {
 
 /// One entry of a location FIFO. Owned by the issuing Handle; the queue
 /// stores non-owning pointers. Lifetime: must outlive its queue membership.
+///
+/// `state` is written by the queue (under its lock, Granted with release
+/// ordering) and read by the owning thread's waiter (acquire), which may
+/// park on it directly. Copying is provided for single-threaded setup and
+/// test convenience only — it snapshots the atomic non-atomically.
 struct Request {
   AccessMode mode = AccessMode::Read;
-  RequestState state = RequestState::Inactive;
+  std::atomic<RequestState> state{RequestState::Inactive};
   Ticket ticket = 0;       ///< insertion order stamp (per location)
   TaskId owner = -1;       ///< task that issued the request
   HandleId handle = -1;    ///< handle the request belongs to
   LocationId location = -1;  ///< location whose FIFO the request is in
-  void* user = nullptr;    ///< delivery cookie (the owning Handle)
+
+  Request() = default;
+  Request(const Request& o)
+      : mode(o.mode),
+        state(o.state.load(std::memory_order_relaxed)),
+        ticket(o.ticket),
+        owner(o.owner),
+        handle(o.handle),
+        location(o.location) {}
+  Request& operator=(const Request& o) {
+    mode = o.mode;
+    state.store(o.state.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    ticket = o.ticket;
+    owner = o.owner;
+    handle = o.handle;
+    location = o.location;
+    return *this;
+  }
 };
 
-/// Callback invoked (with the queue lock held) for every newly granted
-/// request. Implementations must not re-enter the queue.
-using GrantSink = std::function<void(Request&)>;
+/// Grant announcement target, invoked (with the queue lock held) for every
+/// newly granted request. Implementations must be non-blocking and must
+/// not re-enter the announcing queue — debug builds assert on re-entry.
+/// An intrusive interface (the Runtime *is* the sink) instead of a
+/// std::function, so announcing a grant allocates nothing.
+class GrantSink {
+ public:
+  virtual void on_grant(Request& req) = 0;
+
+ protected:
+  ~GrantSink() = default;
+};
+
+/// Adapter wrapping a callable as a GrantSink (tests and benches; the
+/// callable is stored inline, so announcement stays allocation-free).
+template <class F>
+class GrantFn final : public GrantSink {
+ public:
+  explicit GrantFn(F fn) : fn_(std::move(fn)) {}
+  void on_grant(Request& req) override { fn_(req); }
+
+ private:
+  F fn_;
+};
 
 class FifoQueue {
  public:
-  explicit FifoQueue(GrantSink on_grant);
+  /// `sink` is non-owning and must outlive the queue.
+  explicit FifoQueue(GrantSink* sink);
 
   FifoQueue(const FifoQueue&) = delete;
   FifoQueue& operator=(const FifoQueue&) = delete;
@@ -80,11 +132,12 @@ class FifoQueue {
   void insert_locked(Request& req);
   void release_locked(Request& req);
   void advance_locked();  // grant the head run, announce new grants
+  void check_not_reentered() const;  // debug: sink must not call back in
 
   mutable std::mutex mu_;
   std::deque<Request*> queue_;
   Ticket next_ticket_ = 0;
-  GrantSink on_grant_;
+  GrantSink* sink_;
 };
 
 }  // namespace orwl

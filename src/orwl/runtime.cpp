@@ -7,6 +7,7 @@
 #include "support/assert.h"
 #include "support/log.h"
 #include "support/thread.h"
+#include "sync/waiter.h"
 #include "topo/binding.h"
 
 namespace orwl {
@@ -18,7 +19,7 @@ Runtime::Runtime(RuntimeOptions opts) : opts_(opts), stats_(0) {
     ORWL_CHECK_MSG(opts_.shared_control_threads >= 1,
                    "shared control pool needs at least one thread");
     for (int i = 0; i < opts_.shared_control_threads; ++i)
-      shared_queues_.push_back(std::make_unique<EventQueue>());
+      shared_queues_.push_back(std::make_unique<EventQueue>(opts_.wait));
     shared_bindings_.resize(
         static_cast<std::size_t>(opts_.shared_control_threads));
   }
@@ -30,9 +31,9 @@ LocationId Runtime::add_location(std::size_t bytes, std::string name) {
   ORWL_CHECK_MSG(!ran_, "cannot add locations after run()");
   const LocationId id = static_cast<LocationId>(locations_.size());
   if (name.empty()) name = "loc" + std::to_string(id);
+  // The cast to the private base is accessible here (member scope).
   locations_.push_back(std::make_unique<LocationBuffer>(
-      id, bytes, std::move(name),
-      [this](Request& req) { dispatch_grant(req); }));
+      id, bytes, std::move(name), static_cast<GrantSink*>(this)));
   return id;
 }
 
@@ -44,7 +45,7 @@ TaskId Runtime::add_task(std::string name, TaskFn fn) {
   TaskRec rec;
   rec.name = std::move(name);
   rec.fn = std::move(fn);
-  rec.events = std::make_unique<EventQueue>();
+  rec.events = std::make_unique<EventQueue>(opts_.wait);
   tasks_.push_back(std::move(rec));
   stats_.resize(static_cast<int>(tasks_.size()));
   return id;
@@ -58,7 +59,8 @@ HandleId Runtime::add_handle(TaskId task, LocationId location, AccessMode mode,
                  "unknown location " << location);
   const HandleId id = static_cast<HandleId>(handles_.size());
   handles_.push_back(std::make_unique<Handle>(
-      id, task, *locations_[static_cast<std::size_t>(location)], mode));
+      id, task, *locations_[static_cast<std::size_t>(location)], mode,
+      opts_.wait));
   if (prime) prime_order_.push_back(id);
   return id;
 }
@@ -95,7 +97,8 @@ void Runtime::epoch_fire(std::unique_lock<std::mutex>& lock) {
   // Everyone expected has arrived: parked threads cannot advance and no
   // task can retire, so the hook owns the run. Release the lock while it
   // executes — the hook calls back into rebind_* and the Instrument.
-  const int epoch = esync_generation_ + 1;
+  const int epoch =
+      static_cast<int>(esync_generation_.load(std::memory_order_relaxed)) + 1;
   const int round = esync_round_;
   lock.unlock();
   std::exception_ptr hook_error;
@@ -106,24 +109,31 @@ void Runtime::epoch_fire(std::unique_lock<std::mutex>& lock) {
   }
   lock.lock();
   esync_arrived_ = 0;
-  ++esync_generation_;
-  esync_cv_.notify_all();
+  // Release the parked arrivals: the bump publishes the hook's effects
+  // (acquire-load in the waiter) and the notify wakes the futex waiters.
+  esync_generation_.fetch_add(1, std::memory_order_release);
+  sync::notify_all(esync_generation_);
   if (hook_error) std::rethrow_exception(hook_error);
 }
 
 void Runtime::epoch_arrive(TaskId task, int round) {
   if (epoch_length_ <= 0) return;
   ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
-  std::unique_lock lock(esync_mu_);
-  if (esync_retired_[static_cast<std::size_t>(task)]) return;
-  esync_round_ = round;
-  ++esync_arrived_;
-  if (esync_arrived_ == esync_members_) {
-    epoch_fire(lock);
-    return;
+  std::uint32_t gen;
+  {
+    std::unique_lock lock(esync_mu_);
+    if (esync_retired_[static_cast<std::size_t>(task)]) return;
+    esync_round_ = round;
+    ++esync_arrived_;
+    if (esync_arrived_ == esync_members_) {
+      epoch_fire(lock);
+      return;
+    }
+    // Read the generation before dropping the lock: a boundary that fires
+    // in between bumps it, so the park below returns immediately.
+    gen = esync_generation_.load(std::memory_order_relaxed);
   }
-  const int gen = esync_generation_;
-  esync_cv_.wait(lock, [this, gen] { return esync_generation_ != gen; });
+  (void)sync::wait_while_equal(esync_generation_, gen, opts_.wait);
 }
 
 void Runtime::epoch_retire(TaskId task) {
@@ -174,23 +184,19 @@ std::size_t Runtime::location_size(LocationId loc) const {
   return locations_[static_cast<std::size_t>(loc)]->size();
 }
 
-void Runtime::dispatch_grant(Request& req) {
+void Runtime::on_grant(Request& req) {
   // Called with the location queue lock held — keep it lean.
   stats_.record_grant(req.mode);
   LocationBuffer& loc = *locations_[static_cast<std::size_t>(req.location)];
-  if (opts_.record_flows) {
-    if (req.mode == AccessMode::Read) {
-      stats_.record_flow(loc.last_writer(), req.owner, loc.size());
-    } else {
-      // Write-after-write moves ownership of the buffer.
-      stats_.record_flow(loc.last_writer(), req.owner, loc.size());
-    }
-  }
+  // Reads consume the last writer's bytes; a write-after-write moves
+  // ownership of the buffer — either way the flow edge is the same.
+  if (opts_.record_flows)
+    stats_.record_flow(loc.last_writer(), req.owner, loc.size());
   if (req.mode == AccessMode::Write) loc.set_last_writer(req.owner);
 
   switch (opts_.control) {
     case RuntimeOptions::ControlMode::Direct:
-      static_cast<Handle*>(req.user)->deliver_grant();
+      Handle::deliver_grant(req);
       break;
     case RuntimeOptions::ControlMode::PerTask:
       tasks_[static_cast<std::size_t>(req.owner)].events->post({&req});
@@ -209,7 +215,7 @@ void Runtime::shared_control_loop(int pool_index) {
   if (bind) topo::bind_current_thread(*bind);
   EventQueue& queue = *shared_queues_[static_cast<std::size_t>(pool_index)];
   while (auto ev = queue.pop()) {
-    static_cast<Handle*>(ev->request->user)->deliver_grant();
+    Handle::deliver_grant(*ev->request);
   }
 }
 
@@ -223,7 +229,7 @@ void Runtime::control_loop(TaskId task) {
   }
   if (rec.control_bind) topo::bind_current_thread(*rec.control_bind);
   while (auto ev = rec.events->pop()) {
-    static_cast<Handle*>(ev->request->user)->deliver_grant();
+    Handle::deliver_grant(*ev->request);
   }
 }
 
@@ -235,7 +241,7 @@ void Runtime::run() {
   // Epoch barrier population: every task participates until it retires.
   esync_members_ = num_tasks();
   esync_arrived_ = 0;
-  esync_generation_ = 0;
+  esync_generation_.store(0, std::memory_order_relaxed);
   esync_retired_.assign(tasks_.size(), 0);
   compute_handles_.assign(tasks_.size(), std::nullopt);
   control_handles_.assign(tasks_.size(), std::nullopt);

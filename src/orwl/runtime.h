@@ -22,7 +22,8 @@
 // Handle registration order defines the canonical initial FIFO insertion
 // order — the ORWL liveness discipline for iterative programs.
 
-#include <condition_variable>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -38,6 +39,7 @@
 #include "orwl/instrument.h"
 #include "orwl/location.h"
 #include "orwl/task.h"
+#include "sync/wait_strategy.h"
 #include "topo/binding.h"
 #include "topo/bitmap.h"
 
@@ -58,9 +60,16 @@ struct RuntimeOptions {
 
   /// Record the measured communication-flow matrix (small overhead).
   bool record_flows = true;
+
+  /// How every parking point of this runtime waits (handle grant waits,
+  /// control-thread event pops, the epoch barrier): block, spin, or
+  /// spin-then-park. See sync/wait_strategy.h.
+  sync::WaitStrategy wait{};
 };
 
-class Runtime {
+/// The Runtime itself is the GrantSink of every location FIFO: a grant
+/// announcement is a virtual call on `this`, never an allocation.
+class Runtime : private GrantSink {
  public:
   explicit Runtime(RuntimeOptions opts = {});
   ~Runtime();
@@ -173,7 +182,9 @@ class Runtime {
     std::unique_ptr<EventQueue> events;
   };
 
-  void dispatch_grant(Request& req);  // GrantSink target
+  /// GrantSink: called by a location FIFO (its lock held) for every newly
+  /// granted request — records stats and routes delivery per ControlMode.
+  void on_grant(Request& req) override;
   void control_loop(TaskId task);
   void shared_control_loop(int pool_index);
   /// Complete the current epoch boundary: run the hook (lock released
@@ -190,17 +201,20 @@ class Runtime {
   Instrument stats_;
   bool ran_ = false;
 
-  // Epoch barrier state, all guarded by esync_mu_. Thread handles are
+  // Epoch barrier state, guarded by esync_mu_ — except the generation
+  // word, which parked arrivals wait on through the sync:: waiter (the
+  // same strategy as every other parking point). Thread handles are
   // registered under the same mutex (compute threads self-register before
   // their first possible arrival; control handles are recorded before any
   // compute thread exists), so the hook always sees them.
   int epoch_length_ = 0;
   EpochHook epoch_hook_;
   std::mutex esync_mu_;
-  std::condition_variable esync_cv_;
   int esync_members_ = 0;     ///< tasks still participating
   int esync_arrived_ = 0;     ///< arrivals at the current boundary
-  int esync_generation_ = 0;  ///< completed boundaries
+  /// Completed boundaries; bumped (release) when a boundary fires and
+  /// notified so parked arrivals resume.
+  std::atomic<std::uint32_t> esync_generation_{0};
   int esync_round_ = 0;       ///< round of the boundary being formed
   std::vector<char> esync_retired_;
   std::vector<std::optional<topo::ThreadHandle>> compute_handles_;

@@ -1,0 +1,57 @@
+#pragma once
+// ShardedCounter: a monotonically increasing counter whose increments land
+// on one of several cache-line-padded shards, picked by the calling
+// thread's dense index (support/thread.h). Hot paths (the grant
+// announcement runs with a location queue lock held) pay one uncontended
+// relaxed fetch_add with no cross-thread cache-line ping-pong; readers sum
+// the shards at report/epoch boundaries — reads are rare, writes are the
+// hot path.
+//
+// The sum is exact once the writing threads have quiesced (joined or
+// barrier-parked). A read concurrent with writers is a consistent lower
+// bound: every increment whose writer happened-before the read is
+// included.
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+
+#include "support/thread.h"
+
+namespace orwl::sync {
+
+/// Destructive-interference stride. Fixed at 64 (the x86/ARM line size)
+/// instead of std::hardware_destructive_interference_size, whose value is
+/// an ABI hazard gcc warns about (-Winterference-size).
+inline constexpr std::size_t kCacheLine = 64;
+
+class ShardedCounter {
+ public:
+  static constexpr int kShards = 16;  // power of two (mask indexing)
+
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[static_cast<std::size_t>(current_thread_index()) &
+            (kShards - 1)]
+        .value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum of all shards (the "flush": exact after writers quiesced).
+  [[nodiscard]] std::uint64_t read() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_)
+      total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(kCacheLine) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+}  // namespace orwl::sync

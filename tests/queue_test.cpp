@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "orwl/queue.h"
@@ -13,8 +14,8 @@ namespace {
 
 class QueueTest : public ::testing::Test {
  protected:
-  QueueTest()
-      : queue_([this](Request& r) { granted_.push_back(&r); }) {}
+  QueueTest() : sink_([this](Request& r) { granted_.push_back(&r); }),
+                queue_(&sink_) {}
 
   Request make(AccessMode mode) {
     Request r;
@@ -22,6 +23,7 @@ class QueueTest : public ::testing::Test {
     return r;
   }
 
+  GrantFn<std::function<void(Request&)>> sink_;
   FifoQueue queue_;
   std::vector<Request*> granted_;
 };

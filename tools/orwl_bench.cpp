@@ -48,6 +48,10 @@ int usage(const char* argv0, int code) {
      << "  --epoch N       epoch length in iterations for --replace "
         "(default 2)\n"
      << "  --tau X         on_drift threshold in [0,1] (default 0.25)\n"
+     << "  --wait-strategy S   runtime-backend wait strategy: block | spin "
+        "|\n"
+     << "                  spin_then_park[(N)] (default: runtime default, "
+        "block)\n"
      << "  --no-verify     skip result verification\n"
      << "  --seed N        placement / simulation seed (default 42)\n"
      << "  --json PATH     write machine-readable results (BENCH_*.json)\n";
@@ -134,6 +138,7 @@ int main(int argc, char** argv) {
     else if (a == "--replace") replace.mode = place::parse_replacement_mode(need_value(i));
     else if (a == "--epoch") replace.epoch_length = static_cast<int>(parse_long(a, need_value(i)));
     else if (a == "--tau") replace.drift_threshold = parse_double(a, need_value(i));
+    else if (a == "--wait-strategy") base.wait = sync::parse_wait_strategy(need_value(i));
     else if (a == "--no-verify") base.verify = false;
     else if (a == "--seed") base.seed = static_cast<std::uint64_t>(parse_long(a, need_value(i)));
     else if (a == "--json") json_path = need_value(i);
