@@ -84,7 +84,7 @@ void emit_document(std::ostream& os, const std::string& bench,
   json.member("bench", bench);
   json.member("date", iso_utc_now());
   json.member("host_name", host_name());
-  json.member("harness_schema", 1);
+  json.member("harness_schema", 2);
   if (context_extra) context_extra(json);
   json.end_object();
   json.begin_array("benchmarks");
@@ -104,6 +104,8 @@ std::string case_name(const CaseSpec& spec) {
     name += std::string("/replace:") +
             place::to_string(spec.replacement.mode);
   if (spec.wait) name += "/wait:" + sync::to_string(*spec.wait);
+  if (spec.memory != mem::MemoryPolicy::Heap)
+    name += std::string("/mem:") + mem::to_string(spec.memory);
   return name;
 }
 
@@ -140,6 +142,7 @@ CaseResult run_case(const CaseSpec& spec) {
     if (matrix) p.place_using(*matrix);
     if (spec.replacement.enabled()) p.replacement(spec.replacement);
     if (spec.wait) p.wait_strategy(*spec.wait);
+    if (spec.memory != mem::MemoryPolicy::Heap) p.memory_policy(spec.memory);
     const RunReport rep = p.run(backend);
     res.grants = rep.grants;
     res.placed = rep.placed;
@@ -242,6 +245,7 @@ void write_json(std::ostream& os, const std::vector<CaseResult>& results) {
       json.member("repetitions", r.spec.repetitions);
       json.member("wait_strategy", r.spec.wait ? sync::to_string(*r.spec.wait)
                                                : std::string("default"));
+      json.member("memory_policy", mem::to_string(r.spec.memory));
       json.member("grants", r.grants);
       json.member("placed", r.placed);
       write_stats(json, "seconds", r.time);
@@ -274,6 +278,7 @@ void write_json(std::ostream& os, const std::vector<CaseResult>& results) {
           json.member("replaced", e.replaced);
           json.member("migrated", e.migrated);
           json.member("rebind_failures", e.rebind_failures);
+          json.member("moved_locations", e.moved_locations);
           json.member("replace_seconds", e.replace_seconds);
           json.begin_array("compute_pu");
           for (const int pu : e.compute_pu)

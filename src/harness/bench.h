@@ -22,6 +22,7 @@
 
 #include "comm/comm_matrix.h"
 #include "harness/stats.h"
+#include "mem/policy.h"
 #include "orwl/backend.h"
 #include "place/placement.h"
 #include "place/replace.h"
@@ -57,6 +58,10 @@ struct CaseSpec {
   /// block, spin, or spin_then_park. Unset = the runtime default (block).
   /// Ignored by the sim backend.
   std::optional<sync::WaitStrategy> wait;
+  /// Location-memory policy (Program::memory_policy): heap (default),
+  /// numa_local, or numa_interleave. Applied to both backends — the
+  /// runtime places real pages, the sim models the effect.
+  mem::MemoryPolicy memory = mem::MemoryPolicy::Heap;
 };
 
 /// Timings of the feedback (measured-matrix TreeMatch) phase.

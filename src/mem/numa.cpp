@@ -1,0 +1,229 @@
+#include "mem/numa.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "support/file.h"
+
+namespace orwl::mem {
+
+namespace {
+
+// Local MPOL_* constants (uapi/linux/mempolicy.h): the syscalls are issued
+// directly so the repo carries no libnuma / numaif.h dependency.
+constexpr int kMpolPreferred = 1;
+constexpr int kMpolInterleave = 3;
+constexpr unsigned kMpolMfMove = 1u << 1;
+constexpr unsigned long kMpolFNode = 1u << 0;
+constexpr unsigned long kMpolFAddr = 1u << 1;
+
+#if defined(__linux__) && defined(SYS_mbind) && defined(SYS_get_mempolicy)
+#define ORWL_MEM_HAVE_SYSCALLS 1
+#else
+#define ORWL_MEM_HAVE_SYSCALLS 0
+#endif
+
+#if ORWL_MEM_HAVE_SYSCALLS
+long sys_mbind(void* addr, unsigned long len, int mode,
+               const unsigned long* nodemask, unsigned long maxnode,
+               unsigned flags) {
+  return ::syscall(SYS_mbind, addr, len, mode, nodemask, maxnode, flags);
+}
+
+long sys_get_mempolicy(int* mode, unsigned long* nodemask,
+                       unsigned long maxnode, const void* addr,
+                       unsigned long flags) {
+  return ::syscall(SYS_get_mempolicy, mode, nodemask, maxnode, addr, flags);
+}
+#endif
+
+/// Node-id set as the nodemask words mbind expects; maxnode covers the
+/// highest bit.
+struct NodeMask {
+  std::vector<unsigned long> words;
+  unsigned long maxnode = 0;
+};
+
+NodeMask make_mask(const std::vector<int>& node_ids) {
+  constexpr unsigned long kBits = sizeof(unsigned long) * 8;
+  NodeMask mask;
+  int max_id = -1;
+  for (const int id : node_ids) max_id = std::max(max_id, id);
+  if (max_id < 0) return mask;
+  mask.words.assign(static_cast<std::size_t>(max_id) / kBits + 1, 0UL);
+  for (const int id : node_ids) {
+    if (id < 0) continue;
+    mask.words[static_cast<std::size_t>(id) / kBits] |=
+        1UL << (static_cast<unsigned long>(id) % kBits);
+  }
+  mask.maxnode = mask.words.size() * kBits;
+  return mask;
+}
+
+/// Widen [addr, addr+len) to page boundaries (mbind wants aligned addr).
+std::pair<void*, std::size_t> page_span(void* addr, std::size_t len) {
+  const std::size_t ps = page_size();
+  auto base = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t start = base / ps * ps;
+  const std::size_t span = ((base + len + ps - 1) / ps * ps) - start;
+  return {reinterpret_cast<void*>(start), span};
+}
+
+bool apply_policy(void* addr, std::size_t len, int mode,
+                  const std::vector<int>& node_ids) {
+  if (addr == nullptr || len == 0 || node_ids.empty()) return false;
+  if (!numa_syscalls_available()) return false;
+#if ORWL_MEM_HAVE_SYSCALLS
+  const NodeMask mask = make_mask(node_ids);
+  if (mask.words.empty()) return false;
+  const auto [start, span] = page_span(addr, len);
+  return sys_mbind(start, span, mode, mask.words.data(), mask.maxnode,
+                   kMpolMfMove) == 0;
+#else
+  return false;
+#endif
+}
+
+/// "Node 0 MemTotal:   16309732 kB" -> bytes; -1 when unparseable.
+long long parse_meminfo_total(const std::string& meminfo) {
+  const std::size_t key = meminfo.find("MemTotal:");
+  if (key == std::string::npos) return -1;
+  std::istringstream is(meminfo.substr(key + sizeof("MemTotal:") - 1));
+  long long kb = -1;
+  if (!(is >> kb) || kb < 0) return -1;
+  return kb * 1024;
+}
+
+std::vector<int> parse_distance_row(const std::string& row) {
+  std::istringstream is(row);
+  std::vector<int> out;
+  int d = 0;
+  while (is >> d) out.push_back(d);
+  return out;
+}
+
+}  // namespace
+
+bool numa_syscalls_available() {
+#ifdef ORWL_MEM_FORCE_FALLBACK
+  return false;
+#elif ORWL_MEM_HAVE_SYSCALLS
+  // One probe per process: a mode-only get_mempolicy succeeds iff the
+  // syscall exists and is not filtered away.
+  static const bool ok = [] {
+    int mode = 0;
+    return sys_get_mempolicy(&mode, nullptr, 0, nullptr, 0) == 0;
+  }();
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool bind_pages_to_node(void* addr, std::size_t len, int node) {
+  if (node < 0) return false;
+  return apply_policy(addr, len, kMpolPreferred, {node});
+}
+
+bool interleave_pages(void* addr, std::size_t len,
+                      const std::vector<int>& node_ids) {
+  return apply_policy(addr, len, kMpolInterleave, node_ids);
+}
+
+std::optional<int> page_node_of(const void* addr) {
+  if (addr == nullptr || !numa_syscalls_available()) return std::nullopt;
+#if ORWL_MEM_HAVE_SYSCALLS
+  int node = -1;
+  if (sys_get_mempolicy(&node, nullptr, 0, addr, kMpolFNode | kMpolFAddr) !=
+      0)
+    return std::nullopt;
+  if (node < 0) return std::nullopt;
+  return node;
+#else
+  return std::nullopt;
+#endif
+}
+
+std::size_t page_size() {
+#ifdef __linux__
+  static const std::size_t ps = [] {
+    const long v = ::sysconf(_SC_PAGESIZE);
+    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{4096};
+  }();
+  return ps;
+#else
+  return 4096;
+#endif
+}
+
+NumaInfo NumaInfo::detect(const std::string& sysfs_root) {
+  namespace fs = std::filesystem;
+  NumaInfo info;
+  const fs::path node_dir = fs::path(sysfs_root) / "devices/system/node";
+  std::error_code ec;
+  if (!fs::is_directory(node_dir, ec)) return info;
+  for (const auto& entry : fs::directory_iterator(node_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("node", 0) != 0) continue;
+    NumaNode node;
+    try {
+      node.id = std::stoi(name.substr(4));
+    } catch (const std::exception&) {
+      continue;
+    }
+    const auto cpulist = read_file_trimmed(entry.path() / "cpulist");
+    if (!cpulist) continue;
+    try {
+      node.cpus = topo::Bitmap::parse_list(*cpulist);
+    } catch (const std::exception&) {
+      continue;  // malformed node: skip it rather than fail detection
+    }
+    if (const auto meminfo = read_file_trimmed(entry.path() / "meminfo"))
+      node.mem_bytes = parse_meminfo_total(*meminfo);
+    if (const auto distance = read_file_trimmed(entry.path() / "distance"))
+      node.distances = parse_distance_row(*distance);
+    info.nodes_.push_back(std::move(node));
+  }
+  std::sort(info.nodes_.begin(), info.nodes_.end(),
+            [](const NumaNode& a, const NumaNode& b) { return a.id < b.id; });
+  return info;
+}
+
+const NumaInfo& NumaInfo::host() {
+  static const NumaInfo info = detect("/sys");
+  return info;
+}
+
+NumaInfo NumaInfo::from_node_cpus(std::vector<topo::Bitmap> node_cpus) {
+  NumaInfo info;
+  for (std::size_t i = 0; i < node_cpus.size(); ++i) {
+    NumaNode node;
+    node.id = static_cast<int>(i);
+    node.cpus = std::move(node_cpus[i]);
+    info.nodes_.push_back(std::move(node));
+  }
+  return info;
+}
+
+int NumaInfo::node_of_cpu(int os_cpu) const {
+  if (os_cpu < 0) return -1;
+  for (const NumaNode& node : nodes_)
+    if (node.cpus.test(os_cpu)) return node.id;
+  return -1;
+}
+
+std::vector<int> NumaInfo::node_ids() const {
+  std::vector<int> ids;
+  ids.reserve(nodes_.size());
+  for (const NumaNode& node : nodes_) ids.push_back(node.id);
+  return ids;
+}
+
+}  // namespace orwl::mem

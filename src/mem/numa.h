@@ -1,0 +1,90 @@
+#pragma once
+// Thin NUMA layer, libnuma-free:
+//
+//   * NumaInfo — the node inventory parsed from sysfs
+//     (/sys/devices/system/node/nodeN/{cpulist,meminfo,distance}): which
+//     OS cpus belong to which node, node memory sizes, the SLIT distance
+//     rows. Pure file reads; works even where the policy syscalls are
+//     blocked (containers).
+//   * page ops — mbind / get_mempolicy issued directly via syscall(2), so
+//     there is no hard libnuma dependency. Every entry point degrades
+//     gracefully: on non-Linux builds, kernels without the syscalls,
+//     seccomp-filtered containers, or ORWL_MEM_FORCE_FALLBACK builds the
+//     ops report failure and callers fall back to plain heap behaviour.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/bitmap.h"
+
+namespace orwl::mem {
+
+/// One NUMA node as described under /sys/devices/system/node/nodeN.
+struct NumaNode {
+  int id = -1;               ///< OS node id (the N in nodeN)
+  topo::Bitmap cpus;         ///< OS cpu indices local to this node
+  long long mem_bytes = -1;  ///< MemTotal of the node; -1 unknown
+  /// SLIT distance row (one entry per inventory node, in nodes() order);
+  /// empty when the distance file is absent.
+  std::vector<int> distances;
+};
+
+/// Immutable NUMA node inventory.
+class NumaInfo {
+ public:
+  NumaInfo() = default;
+
+  /// Parse the inventory under `sysfs_root` (normally "/sys"). An empty
+  /// inventory (no node directories) yields available() == false.
+  static NumaInfo detect(const std::string& sysfs_root = "/sys");
+
+  /// The host inventory, detected once and cached.
+  static const NumaInfo& host();
+
+  /// Fabricate an inventory from per-node cpusets (node ids 0..n-1) —
+  /// for tests that need a multi-node machine on a single-node host.
+  static NumaInfo from_node_cpus(std::vector<topo::Bitmap> node_cpus);
+
+  [[nodiscard]] bool available() const { return !nodes_.empty(); }
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] const std::vector<NumaNode>& nodes() const { return nodes_; }
+
+  /// OS node id owning `os_cpu`, or -1 when unknown.
+  [[nodiscard]] int node_of_cpu(int os_cpu) const;
+
+  /// All OS node ids, in nodes() order.
+  [[nodiscard]] std::vector<int> node_ids() const;
+
+ private:
+  std::vector<NumaNode> nodes_;  ///< sorted by id
+};
+
+/// True when the memory-policy syscalls (mbind / get_mempolicy) work in
+/// this process. Probed once and cached. Always false in
+/// ORWL_MEM_FORCE_FALLBACK builds (the CI no-NUMA leg).
+bool numa_syscalls_available();
+
+/// Prefer `node` for the pages of [addr, addr+len): mbind with
+/// MPOL_PREFERRED | MPOL_MF_MOVE, so already-touched pages migrate.
+/// `addr` need not be page-aligned (the range is widened to page
+/// boundaries). Returns false when the syscall layer is unavailable or
+/// the kernel rejects the request.
+bool bind_pages_to_node(void* addr, std::size_t len, int node);
+
+/// Interleave the pages of [addr, addr+len) across `node_ids`
+/// (MPOL_INTERLEAVE | MPOL_MF_MOVE). Same failure semantics.
+bool interleave_pages(void* addr, std::size_t len,
+                      const std::vector<int>& node_ids);
+
+/// NUMA node currently backing the (touched) page at `addr`, or nullopt
+/// when it cannot be queried. Diagnostic / test helper.
+std::optional<int> page_node_of(const void* addr);
+
+/// The system page size (sysconf), cached.
+std::size_t page_size();
+
+}  // namespace orwl::mem

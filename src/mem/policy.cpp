@@ -1,0 +1,34 @@
+#include "mem/policy.h"
+
+#include <cctype>
+
+#include "support/assert.h"
+
+namespace orwl::mem {
+
+const char* to_string(MemoryPolicy p) {
+  switch (p) {
+    case MemoryPolicy::Heap: return "heap";
+    case MemoryPolicy::NumaLocal: return "numa_local";
+    case MemoryPolicy::NumaInterleave: return "numa_interleave";
+  }
+  return "?";
+}
+
+MemoryPolicy parse_memory_policy(const std::string& name) {
+  std::string s;
+  s.reserve(name.size());
+  for (const char c : name)
+    s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (s == "heap") return MemoryPolicy::Heap;
+  if (s == "numa_local" || s == "local") return MemoryPolicy::NumaLocal;
+  if (s == "numa_interleave" || s == "interleave")
+    return MemoryPolicy::NumaInterleave;
+  ORWL_CHECK_MSG(false, "unknown memory policy '"
+                            << name
+                            << "'; known: heap|numa_local|numa_interleave "
+                               "(aliases: local, interleave)");
+  return MemoryPolicy::Heap;  // unreachable
+}
+
+}  // namespace orwl::mem

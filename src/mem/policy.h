@@ -1,0 +1,31 @@
+#pragma once
+// MemoryPolicy: where location storage lives. The knob travels
+// RuntimeOptions::memory -> Program::memory_policy() -> mem::Arena, and the
+// harness / orwl_bench expose it per case (--memory-policy).
+
+#include <string>
+
+namespace orwl::mem {
+
+/// Placement policy for location pages.
+enum class MemoryPolicy {
+  /// Process heap (aligned operator new). Pages live wherever the thread
+  /// that first touched them ran — for the zero-initializing allocation
+  /// that is the thread constructing the Runtime. The default.
+  Heap,
+  /// Anonymous mmap; pages are placed (and at epoch re-placements moved)
+  /// on the NUMA node of each location's planned writer.
+  NumaLocal,
+  /// Anonymous mmap; pages are interleaved across all NUMA nodes, trading
+  /// peak locality for an even load on the memory controllers.
+  NumaInterleave,
+};
+
+const char* to_string(MemoryPolicy p);
+
+/// Accepts "heap", "numa_local", "numa_interleave" plus the short aliases
+/// "local" and "interleave" (any case). Throws ContractError on unknown
+/// names.
+MemoryPolicy parse_memory_policy(const std::string& name);
+
+}  // namespace orwl::mem

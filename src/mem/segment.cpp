@@ -1,0 +1,114 @@
+#include "mem/segment.h"
+
+#include <cstring>
+#include <new>
+#include <utility>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
+#include "mem/numa.h"
+#include "support/assert.h"
+
+namespace orwl::mem {
+
+namespace {
+
+void release(std::byte* data, std::size_t size, Segment::Backing backing) {
+  switch (backing) {
+    case Segment::Backing::None:
+      break;
+    case Segment::Backing::Heap:
+      ::operator delete(data, std::align_val_t{kSegmentAlignment});
+      break;
+    case Segment::Backing::Mmap:
+#ifdef __linux__
+      ::munmap(data, size);
+#else
+      (void)size;
+#endif
+      break;
+  }
+}
+
+}  // namespace
+
+Segment::~Segment() { release(data_, size_, backing_); }
+
+Segment::Segment(Segment&& o) noexcept
+    : data_(std::exchange(o.data_, nullptr)),
+      size_(std::exchange(o.size_, 0)),
+      backing_(std::exchange(o.backing_, Backing::None)),
+      target_node_(std::exchange(o.target_node_, -1)),
+      interleaved_(std::exchange(o.interleaved_, false)),
+      placed_(std::exchange(o.placed_, false)) {}
+
+Segment& Segment::operator=(Segment&& o) noexcept {
+  if (this == &o) return *this;
+  release(data_, size_, backing_);
+  data_ = std::exchange(o.data_, nullptr);
+  size_ = std::exchange(o.size_, 0);
+  backing_ = std::exchange(o.backing_, Backing::None);
+  target_node_ = std::exchange(o.target_node_, -1);
+  interleaved_ = std::exchange(o.interleaved_, false);
+  placed_ = std::exchange(o.placed_, false);
+  return *this;
+}
+
+bool Segment::bind_to_node(int node) {
+  ORWL_CHECK_MSG(node >= 0, "bind_to_node needs a node id, got " << node);
+  target_node_ = node;
+  interleaved_ = false;
+  if (size_ == 0) {
+    placed_ = true;  // nothing to move: vacuously satisfied
+    return true;
+  }
+  placed_ = backing_ == Backing::Mmap &&
+            bind_pages_to_node(data_, size_, node);
+  return placed_;
+}
+
+bool Segment::interleave(const std::vector<int>& node_ids) {
+  ORWL_CHECK_MSG(!node_ids.empty(), "interleave needs at least one node");
+  target_node_ = -1;
+  interleaved_ = true;
+  if (size_ == 0) {
+    placed_ = true;
+    return true;
+  }
+  placed_ = backing_ == Backing::Mmap &&
+            interleave_pages(data_, size_, node_ids);
+  return placed_;
+}
+
+bool Arena::numa_backed() const {
+  return opts_.policy != MemoryPolicy::Heap && !opts_.force_fallback &&
+         numa_syscalls_available();
+}
+
+Segment Arena::allocate(std::size_t bytes) const {
+  Segment seg;
+  if (bytes == 0) return seg;
+  seg.size_ = bytes;
+#ifdef __linux__
+  if (numa_backed()) {
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      // Anonymous pages are zero on first touch; no memset needed (and
+      // touching here would defeat late page placement).
+      seg.data_ = static_cast<std::byte*>(p);
+      seg.backing_ = Segment::Backing::Mmap;
+      return seg;
+    }
+  }
+#endif
+  seg.data_ = static_cast<std::byte*>(
+      ::operator new(bytes, std::align_val_t{kSegmentAlignment}));
+  std::memset(seg.data_, 0, bytes);
+  seg.backing_ = Segment::Backing::Heap;
+  return seg;
+}
+
+}  // namespace orwl::mem

@@ -100,10 +100,11 @@ RuntimeBackend::RuntimeBackend(RuntimeOptions opts, topo::Topology topo)
 
 RunReport RuntimeBackend::run(const Program& program) {
   RuntimeOptions opts = opts_;
-  // The program's wait-strategy knob beats the backend default: the knob
-  // travels with the declaration, so one Program can be swept across
-  // strategies without reconstructing backends.
+  // The program's wait-strategy and memory knobs beat the backend
+  // defaults: the knobs travel with the declaration, so one Program can
+  // be swept across strategies without reconstructing backends.
   if (program.wait_strategy()) opts.wait = *program.wait_strategy();
+  if (program.memory_policy()) opts.memory = *program.memory_policy();
   rt_ = std::make_unique<Runtime>(opts);
   build_runtime(program, *rt_);
   apply_inits(program, *rt_);
@@ -114,6 +115,11 @@ RunReport RuntimeBackend::run(const Program& program) {
     rep.plan = plan_for(program, topo_, rt_->static_comm_matrix());
     place::apply_plan(rep.plan, topo_, *rt_);
     rep.placed = true;
+  } else {
+    // No placement plan: numa_interleave still applies (it needs no task
+    // mapping), keeping the runtime in step with the sim's model;
+    // numa_local has no planned writers to follow and stays first-touch.
+    rt_->place_location_memory({}, topo_);
   }
 
   // Online re-placement: at every epoch boundary the hook reads the
@@ -172,6 +178,11 @@ RunReport RuntimeBackend::run(const Program& program) {
                   << " compute thread(s) could not be rebound; recorded "
                      "mapping is intent, not fact, for them";
             }
+            // Location pages follow the migrated writers (numa policies;
+            // no-op under heap). Safe here: the compute threads are
+            // parked at the barrier, so nobody is touching the buffers.
+            rec.moved_locations = rt_->place_location_memory(
+                dec.plan.compute_pu, topo_);
             current = dec.plan;
             ++rep.replacements;
           }
@@ -389,6 +400,16 @@ RunReport SimBackend::run(const Program& program) {
     placement.compute_pu.assign(static_cast<std::size_t>(n), -1);
     placement.control_pu.assign(static_cast<std::size_t>(n), -1);
   }
+  // Location-memory policy (mirrors RuntimeOptions::memory). Heap keeps
+  // the historical model below untouched, so heap predictions stay
+  // bit-identical; numa_local additionally moves data homes with epoch
+  // migrations (pages follow the writer, at a page-move charge); and
+  // numa_interleave spreads every working set across the domains.
+  const mem::MemoryPolicy mempol =
+      program.memory_policy().value_or(mem::MemoryPolicy::Heap);
+  if (mempol == mem::MemoryPolicy::NumaInterleave)
+    placement.data_interleaved.assign(static_cast<std::size_t>(n), 1);
+
   // Bound tasks: an unmanaged control thread rides on the compute PU
   // (mirrors place::apply_plan) and the owner first-touches its own data.
   // Unbound tasks: the control path stays unmanaged and first touch lands
@@ -407,11 +428,37 @@ RunReport SimBackend::run(const Program& program) {
     }
   }
 
+  // Bytes and location count each task "owns" — locations whose planned
+  // writer it is (first Write access in priming order). What numa_local
+  // migrates when the task's compute PU changes; only that configuration
+  // pays the scan.
+  std::vector<double> owned_bytes(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> owned_locs(static_cast<std::size_t>(n), 0);
+  if (mempol == mem::MemoryPolicy::NumaLocal &&
+      program.replacement_policy().enabled()) {
+    std::vector<char> claimed(program.location_decls().size(), 0);
+    for (const auto& [task, access] : program.prime_sequence()) {
+      const Program::AccessDecl& acc =
+          program.task_decls()[static_cast<std::size_t>(task)]
+              .accesses[static_cast<std::size_t>(access)];
+      if (acc.mode != AccessMode::Write) continue;
+      const auto li = static_cast<std::size_t>(acc.location);
+      if (claimed[li]) continue;
+      claimed[li] = 1;
+      const auto ti = static_cast<std::size_t>(task);
+      owned_bytes[ti] += static_cast<double>(
+          program.location_decls()[li].bytes);
+      if (program.location_decls()[li].bytes > 0) ++owned_locs[ti];
+    }
+  }
+
   // Online re-placement, mirrored analytically: the same Replacer the
   // RuntimeBackend drives, fed the per-window matrices of the declared
   // access schedule, with LinkCost::migration_cost charged per migrated
-  // thread. Data homes do not move (first touch), so post-migration
-  // remote-memory streams are charged naturally in later segments.
+  // thread. Under the heap policy data homes do not move (first touch),
+  // so post-migration remote-memory streams are charged naturally in
+  // later segments; under numa_local the homes follow the migrated
+  // writers at a page-move charge (below).
   const place::ReplacementPolicy& rp = program.replacement_policy();
   std::optional<place::Replacer> replacer;
   if (rp.enabled()) {
@@ -488,6 +535,28 @@ RunReport SimBackend::run(const Program& program) {
     if (dec->replaced) {
       rec.migrated = place::count_migrations(placement.compute_pu,
                                              dec->plan.compute_pu);
+      // numa_local: pages follow the migrated writers — the data home
+      // moves with the thread and the moved bytes pay the page-move
+      // bandwidth once. Heap homes stay put (first touch).
+      double moved_bytes = 0.0;
+      if (mempol == mem::MemoryPolicy::NumaLocal) {
+        for (int t = 0; t < n; ++t) {
+          const auto ti = static_cast<std::size_t>(t);
+          const int to = dec->plan.compute_pu[ti];
+          if (to < 0 || to == placement.compute_pu[ti]) continue;
+          const int from_home = std::max(placement.data_home_pu[ti], 0);
+          // Pages (and with them the data home) move only when the
+          // writer leaves its memory domain — a same-node rebind gives
+          // mbind nothing to do and the pages stay where they are
+          // (mirrors Runtime::place_location_memory).
+          if (sim::memory_domain_of(topo_, from_home) !=
+              sim::memory_domain_of(topo_, to)) {
+            placement.data_home_pu[ti] = to;
+            moved_bytes += owned_bytes[ti];
+            rec.moved_locations += owned_locs[ti];
+          }
+        }
+      }
       placement.compute_pu = dec->plan.compute_pu;
       placement.control_pu = dec->plan.control_pu;
       for (int t = 0; t < n; ++t) {
@@ -495,7 +564,8 @@ RunReport SimBackend::run(const Program& program) {
         if (placement.compute_pu[ti] >= 0 && placement.control_pu[ti] < 0)
           placement.control_pu[ti] = placement.compute_pu[ti];
       }
-      rec.replace_seconds = rec.migrated * cost_.migration_cost;
+      rec.replace_seconds = rec.migrated * cost_.migration_cost +
+                            moved_bytes / cost_.page_move_bandwidth;
       last_.total_seconds += rec.replace_seconds;
       ++rep.replacements;
     }

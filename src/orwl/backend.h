@@ -52,6 +52,9 @@ struct RunReport {
     /// cpuset). 0 on SimBackend; nonzero means `compute_pu` is intent,
     /// not fact, for those tasks.
     int rebind_failures = 0;
+    /// Locations whose pages were retargeted to follow their migrated
+    /// writer (memory policy numa_local; 0 under heap/interleave).
+    int moved_locations = 0;
     double replace_seconds = 0.0;  ///< measured (runtime) / modelled (sim)
     comm::Mapping compute_pu;  ///< mapping after the boundary
   };

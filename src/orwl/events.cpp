@@ -32,6 +32,25 @@ std::optional<Event> EventQueue::pop() {
   }
 }
 
+bool EventQueue::pop_all(std::vector<Event>& out) {
+  for (;;) {
+    // Same ordering protocol as pop(): read the sequence before the
+    // backlog so a concurrent post cannot slip between inspection and
+    // park.
+    const std::uint32_t s = seq_.load(std::memory_order_acquire);
+    {
+      std::lock_guard lock(mu_);
+      if (!events_.empty()) {
+        out.insert(out.end(), events_.begin(), events_.end());
+        events_.clear();
+        return true;
+      }
+      if (stopped_) return false;
+    }
+    (void)sync::wait_while_equal(seq_, s, wait_);
+  }
+}
+
 void EventQueue::stop() {
   {
     std::lock_guard lock(mu_);

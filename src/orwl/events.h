@@ -16,6 +16,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "orwl/fwd.h"
 #include "sync/wait_strategy.h"
@@ -43,6 +44,12 @@ class EventQueue {
   /// Block until an event is available or stop() is called.
   /// Returns nullopt once stopped and drained.
   std::optional<Event> pop();
+
+  /// Batched pop: block like pop(), then drain the ENTIRE backlog in one
+  /// pass, appending it to `out` (one lock acquisition per wake instead of
+  /// one per event — the burst path of the control threads). Returns
+  /// false once stopped and drained, leaving `out` untouched.
+  bool pop_all(std::vector<Event>& out);
 
   /// Wake all poppers; subsequent pops drain the backlog then return
   /// nullopt.

@@ -1,12 +1,14 @@
 #include "orwl/location.h"
 
+#include <utility>
+
 namespace orwl {
 
-LocationBuffer::LocationBuffer(LocationId id, std::size_t bytes, std::string name,
-                   GrantSink* sink)
+LocationBuffer::LocationBuffer(LocationId id, mem::Segment storage,
+                   std::string name, GrantSink* sink)
     : id_(id),
       name_(std::move(name)),
-      data_(bytes),
+      storage_(std::move(storage)),
       queue_(sink) {}
 
 }  // namespace orwl

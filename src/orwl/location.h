@@ -3,22 +3,27 @@
 // resource — a byte buffer guarded by an ordered read-write lock (a
 // FifoQueue). The typed, user-facing view is orwl::Location<T> in
 // orwl/program.h.
+//
+// Storage is a mem::Segment, not a raw heap vector: the Runtime's Arena
+// decides the backing per RuntimeOptions::memory, so location pages can be
+// bound to (and migrated between) NUMA nodes — and later backed by shared
+// mappings for the multi-process transport — without this class changing.
 
 #include <atomic>
 #include <cstddef>
 #include <span>
 #include <string>
-#include <vector>
 
+#include "mem/segment.h"
 #include "orwl/queue.h"
 
 namespace orwl {
 
 class LocationBuffer {
  public:
-  /// `bytes` may be zero (pure synchronization location). `sink` is
+  /// `storage` may be empty (pure synchronization location). `sink` is
   /// non-owning (the Runtime) and must outlive the buffer.
-  LocationBuffer(LocationId id, std::size_t bytes, std::string name,
+  LocationBuffer(LocationId id, mem::Segment storage, std::string name,
            GrantSink* sink);
 
   LocationBuffer(const LocationBuffer&) = delete;
@@ -26,16 +31,20 @@ class LocationBuffer {
 
   [[nodiscard]] LocationId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
 
   /// The guarded buffer. Callers must hold a granted request to touch it;
   /// handles enforce this, direct Runtime access is for pre-run init.
-  [[nodiscard]] std::span<std::byte> data() {
-    return {data_.data(), data_.size()};
-  }
+  [[nodiscard]] std::span<std::byte> data() { return storage_.bytes(); }
   [[nodiscard]] std::span<const std::byte> data() const {
-    return {data_.data(), data_.size()};
+    return storage_.bytes();
   }
+
+  /// The backing segment, for page placement/migration (Runtime only —
+  /// never move pages while a task holds a grant mid-write on another
+  /// thread; the epoch barrier provides that exclusion).
+  [[nodiscard]] mem::Segment& storage() { return storage_; }
+  [[nodiscard]] const mem::Segment& storage() const { return storage_; }
 
   [[nodiscard]] FifoQueue& queue() { return queue_; }
   [[nodiscard]] const FifoQueue& queue() const { return queue_; }
@@ -52,7 +61,7 @@ class LocationBuffer {
  private:
   LocationId id_;
   std::string name_;
-  std::vector<std::byte> data_;
+  mem::Segment storage_;
   FifoQueue queue_;
   std::atomic<TaskId> last_writer_{-1};
 };

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "comm/comm_matrix.h"
+#include "mem/policy.h"
 #include "orwl/handle.h"
 #include "orwl/runtime.h"
 #include "place/placement.h"
@@ -395,6 +396,19 @@ class Program {
     return wait_;
   }
 
+  /// Location-memory knob (mem/policy.h): where this program's location
+  /// pages live — heap (default), the planned writer's NUMA node
+  /// (numa_local, pages migrate with epoch re-placements), or interleaved
+  /// across nodes. RuntimeBackend forwards it to RuntimeOptions::memory;
+  /// SimBackend models it (post-migration data homes, interleave
+  /// bandwidth, page-move cost — sim/cost_model.h). Unset leaves the
+  /// backend's RuntimeOptions default in force.
+  void memory_policy(mem::MemoryPolicy mp) { memory_ = mp; }
+  [[nodiscard]] const std::optional<mem::MemoryPolicy>& memory_policy()
+      const {
+    return memory_;
+  }
+
   /// Enable online adaptive re-placement (place/replace.h): the backend
   /// accumulates the communication matrix per epoch of
   /// `rp.epoch_length` iterations and, per the policy, re-runs Algorithm 1
@@ -469,6 +483,7 @@ class Program {
   std::optional<place::Policy> policy_;
   std::optional<comm::CommMatrix> place_matrix_;
   std::optional<sync::WaitStrategy> wait_;
+  std::optional<mem::MemoryPolicy> memory_;
   place::ReplacementPolicy replacement_;
   treematch::Options tm_opts_;
   std::uint64_t place_seed_ = 42;

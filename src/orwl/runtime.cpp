@@ -4,7 +4,9 @@
 #include <exception>
 #include <mutex>
 
+#include "mem/numa.h"
 #include "support/assert.h"
+#include "topo/topology.h"
 #include "support/log.h"
 #include "support/thread.h"
 #include "sync/waiter.h"
@@ -14,7 +16,8 @@ namespace orwl {
 
 Handle& TaskContext::handle(HandleId h) { return runtime_.handle(h); }
 
-Runtime::Runtime(RuntimeOptions opts) : opts_(opts), stats_(0) {
+Runtime::Runtime(RuntimeOptions opts)
+    : opts_(opts), arena_({.policy = opts.memory}), stats_(0) {
   if (opts_.control == RuntimeOptions::ControlMode::SharedPool) {
     ORWL_CHECK_MSG(opts_.shared_control_threads >= 1,
                    "shared control pool needs at least one thread");
@@ -33,7 +36,8 @@ LocationId Runtime::add_location(std::size_t bytes, std::string name) {
   if (name.empty()) name = "loc" + std::to_string(id);
   // The cast to the private base is accessible here (member scope).
   locations_.push_back(std::make_unique<LocationBuffer>(
-      id, bytes, std::move(name), static_cast<GrantSink*>(this)));
+      id, arena_.allocate(bytes), std::move(name),
+      static_cast<GrantSink*>(this)));
   return id;
 }
 
@@ -164,6 +168,61 @@ bool Runtime::rebind_control_thread(TaskId task, const topo::Bitmap& cpuset) {
   return h && topo::bind_thread(*h, cpuset);
 }
 
+int Runtime::place_location_memory(const std::vector<int>& compute_pu,
+                                   const topo::Topology& topo,
+                                   const mem::NumaInfo* numa) {
+  if (opts_.memory == mem::MemoryPolicy::Heap) return 0;
+  const mem::NumaInfo& info = numa ? *numa : mem::NumaInfo::host();
+  if (!info.available()) return 0;
+  int moved = 0;
+
+  if (opts_.memory == mem::MemoryPolicy::NumaInterleave) {
+    // Interleave is node-agnostic: apply once per location, re-placements
+    // have nothing to move.
+    const std::vector<int> ids = info.node_ids();
+    for (const auto& loc : locations_) {
+      if (loc->size() == 0 || loc->storage().interleaved()) continue;
+      loc->storage().interleave(ids);
+      ++moved;
+    }
+    return moved;
+  }
+
+  // NumaLocal. The planned writer of a location is the task behind its
+  // first Write handle in registration (= canonical priming) order.
+  std::vector<TaskId> writer(locations_.size(), -1);
+  for (const auto& h : handles_) {
+    if (h->mode() != AccessMode::Write) continue;
+    const auto li = static_cast<std::size_t>(h->location());
+    if (writer[li] < 0) writer[li] = h->task();
+  }
+  const auto pus = topo.pus();
+  for (std::size_t li = 0; li < locations_.size(); ++li) {
+    const TaskId w = writer[li];
+    if (w < 0 || static_cast<std::size_t>(w) >= compute_pu.size()) continue;
+    const int cpu = compute_pu[static_cast<std::size_t>(w)];
+    if (cpu < 0 || cpu >= static_cast<int>(pus.size())) continue;
+    const int node =
+        info.node_of_cpu(pus[static_cast<std::size_t>(cpu)]->os_index);
+    if (node < 0) continue;
+    LocationBuffer& loc = *locations_[li];
+    if (loc.size() == 0 || loc.storage().target_node() == node) continue;
+    loc.storage().bind_to_node(node);
+    ++moved;
+  }
+  return moved;
+}
+
+int Runtime::location_node(LocationId loc) const {
+  ORWL_CHECK_MSG(loc >= 0 && loc < num_locations(), "unknown location " << loc);
+  return locations_[static_cast<std::size_t>(loc)]->storage().target_node();
+}
+
+const mem::Segment& Runtime::location_storage(LocationId loc) const {
+  ORWL_CHECK_MSG(loc >= 0 && loc < num_locations(), "unknown location " << loc);
+  return locations_[static_cast<std::size_t>(loc)]->storage();
+}
+
 Handle& Runtime::handle(HandleId h) {
   ORWL_CHECK_MSG(h >= 0 && h < num_handles(), "unknown handle " << h);
   return *handles_[static_cast<std::size_t>(h)];
@@ -209,13 +268,36 @@ void Runtime::on_grant(Request& req) {
   }
 }
 
+void Runtime::deliver_batch(const std::vector<Event>& batch) {
+  // Coalesce per handle: a request whose renewal was granted while its
+  // earlier announcement still sat in the backlog appears twice — one
+  // notify covers both (the waiter re-checks the state, never the count).
+  // Batches are bounded by the serviced tasks' handle counts, so the
+  // quadratic scan stays tiny.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Request* req = batch[i].request;
+    bool coalesced = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (batch[j].request == req) {
+        coalesced = true;
+        break;
+      }
+    }
+    if (!coalesced) Handle::deliver_grant(*req);
+  }
+}
+
 void Runtime::shared_control_loop(int pool_index) {
   set_current_thread_name("ctlpool:" + std::to_string(pool_index));
   const auto& bind = shared_bindings_[static_cast<std::size_t>(pool_index)];
   if (bind) topo::bind_current_thread(*bind);
   EventQueue& queue = *shared_queues_[static_cast<std::size_t>(pool_index)];
-  while (auto ev = queue.pop()) {
-    Handle::deliver_grant(*ev->request);
+  // Batched delivery: drain the whole backlog per wake instead of paying
+  // one lock round-trip (and possibly one park) per event under bursts.
+  std::vector<Event> batch;
+  while (queue.pop_all(batch)) {
+    deliver_batch(batch);
+    batch.clear();
   }
 }
 
@@ -228,8 +310,10 @@ void Runtime::control_loop(TaskId task) {
         topo::current_thread_handle();
   }
   if (rec.control_bind) topo::bind_current_thread(*rec.control_bind);
-  while (auto ev = rec.events->pop()) {
-    Handle::deliver_grant(*ev->request);
+  std::vector<Event> batch;
+  while (rec.events->pop_all(batch)) {
+    deliver_batch(batch);
+    batch.clear();
   }
 }
 

@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "comm/comm_matrix.h"
+#include "mem/policy.h"
+#include "mem/segment.h"
 #include "orwl/events.h"
 #include "orwl/handle.h"
 #include "orwl/instrument.h"
@@ -42,6 +44,13 @@
 #include "sync/wait_strategy.h"
 #include "topo/binding.h"
 #include "topo/bitmap.h"
+
+namespace orwl::mem {
+class NumaInfo;
+}
+namespace orwl::topo {
+class Topology;
+}
 
 namespace orwl {
 
@@ -65,6 +74,12 @@ struct RuntimeOptions {
   /// control-thread event pops, the epoch barrier): block, spin, or
   /// spin-then-park. See sync/wait_strategy.h.
   sync::WaitStrategy wait{};
+
+  /// Where location pages live (mem/policy.h): the process heap (default)
+  /// or NUMA-aware mmap segments that place_location_memory() binds to the
+  /// planned writers' nodes / interleaves across nodes. Falls back to the
+  /// heap on hosts without the NUMA syscalls.
+  mem::MemoryPolicy memory = mem::MemoryPolicy::Heap;
 };
 
 /// The Runtime itself is the GrantSink of every location FIFO: a grant
@@ -134,6 +149,31 @@ class Runtime : private GrantSink {
   bool rebind_compute_thread(TaskId task, const topo::Bitmap& cpuset);
   bool rebind_control_thread(TaskId task, const topo::Bitmap& cpuset);
 
+  // --- location memory placement (RuntimeOptions::memory) ----------------
+
+  /// Place every location's pages according to the memory policy, given
+  /// the compute mapping the placement produced (logical PU per task, -1
+  /// unbound): numa_local targets the NUMA node of each location's
+  /// planned writer (its first Write handle in registration order),
+  /// numa_interleave spreads pages across all nodes; heap is a no-op.
+  /// Already-touched pages are migrated (MPOL_MF_MOVE), so this serves
+  /// both the initial apply_plan and epoch-boundary re-placement — call
+  /// it only before run() or from an epoch hook (compute threads parked).
+  /// `numa` overrides the host node inventory (tests); pass nullptr for
+  /// the real machine. Returns the number of locations whose target
+  /// changed (intent — on fallback hosts the kernel may not move bytes).
+  int place_location_memory(const std::vector<int>& compute_pu,
+                            const topo::Topology& topo,
+                            const mem::NumaInfo* numa = nullptr);
+
+  /// Intended NUMA node of a location's pages; -1 = unconstrained.
+  [[nodiscard]] int location_node(LocationId loc) const;
+  /// The backing segment (tests/diagnostics).
+  [[nodiscard]] const mem::Segment& location_storage(LocationId loc) const;
+  [[nodiscard]] mem::MemoryPolicy memory_policy() const {
+    return opts_.memory;
+  }
+
   // --- accessors ----------------------------------------------------------
 
   [[nodiscard]] int num_tasks() const { return static_cast<int>(tasks_.size()); }
@@ -187,11 +227,15 @@ class Runtime : private GrantSink {
   void on_grant(Request& req) override;
   void control_loop(TaskId task);
   void shared_control_loop(int pool_index);
+  /// Deliver a drained event batch, coalescing duplicate announcements of
+  /// the same request (one notify per handle per pass).
+  static void deliver_batch(const std::vector<Event>& batch);
   /// Complete the current epoch boundary: run the hook (lock released
   /// while it executes), then wake the parked tasks. Caller holds `lock`.
   void epoch_fire(std::unique_lock<std::mutex>& lock);
 
   RuntimeOptions opts_;
+  mem::Arena arena_;
   std::vector<std::unique_ptr<LocationBuffer>> locations_;
   std::vector<TaskRec> tasks_;
   std::vector<std::unique_ptr<Handle>> handles_;

@@ -143,6 +143,10 @@ void apply_plan(const Plan& plan, const topo::Topology& topo,
       runtime.set_control_binding(
           t, pus[static_cast<std::size_t>(cpu)]->cpuset);
   }
+  // Location pages follow the plan too (RuntimeOptions::memory): under
+  // numa_local each location lands on its planned writer's node, under
+  // numa_interleave it is spread across all nodes. No-op for heap.
+  runtime.place_location_memory(plan.compute_pu, topo);
 }
 
 }  // namespace orwl::place

@@ -39,8 +39,10 @@ Plan compute_plan(Policy policy, const topo::Topology& topo,
                   const treematch::Options& tm_opts = {},
                   std::uint64_t seed = 42);
 
-/// Install the plan's bindings on the runtime (cpusets of the mapped PUs).
-/// Tasks with -1 entries are left unbound.
+/// Install the plan's bindings on the runtime (cpusets of the mapped PUs)
+/// and place location memory per the runtime's memory policy
+/// (Runtime::place_location_memory: numa_local pages go to the planned
+/// writers' nodes). Tasks with -1 entries are left unbound.
 void apply_plan(const Plan& plan, const topo::Topology& topo,
                 Runtime& runtime);
 

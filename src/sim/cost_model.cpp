@@ -16,6 +16,10 @@ void LinkCost::check(const topo::Topology& topo) const {
   for (double b : bandwidth) ORWL_CHECK_MSG(b > 0.0, "non-positive bandwidth");
   ORWL_CHECK(domain_bandwidth > 0.0 && compute_rate > 0.0);
   ORWL_CHECK_MSG(migration_cost >= 0.0, "negative migration cost");
+  ORWL_CHECK_MSG(interleave_bandwidth > 0.0,
+                 "non-positive interleave bandwidth");
+  ORWL_CHECK_MSG(page_move_bandwidth > 0.0,
+                 "non-positive page-move bandwidth");
 }
 
 LinkCost LinkCost::defaults_for(const topo::Topology& topo) {

@@ -27,6 +27,19 @@ struct LinkCost {
   /// the first-touch hotspot that ruins the naive OpenMP version.
   double domain_bandwidth = 24e9;
 
+  /// Local-vs-remote memory model for the location-memory policies
+  /// (mem/policy.h). Effective per-thread stream bandwidth when the
+  /// thread's pages are interleaved across all domains (numa_interleave):
+  /// between the local-stream and cross-package figures, since 1/N of the
+  /// lines are local and the rest pay the interconnect.
+  double interleave_bandwidth = 12e9;
+
+  /// Bandwidth at which the runtime migrates location pages to a new node
+  /// at a re-placement boundary (mbind MPOL_MF_MOVE). Charged once per
+  /// moved byte under memory policy numa_local; heap never moves pages
+  /// (and keeps paying remote streams instead).
+  double page_move_bandwidth = 4e9;
+
   /// Effective per-core compute throughput (flops/s) for the memory-bound
   /// stencil kernel. An *effective* number including local-memory stalls,
   /// calibrated so ORWL Bind lands near the paper's ~11 s at 192 cores.

@@ -32,6 +32,11 @@ int domain_of(const topo::Topology& topo, int pu, int dom_depth) {
 
 }  // namespace
 
+int memory_domain_of(const topo::Topology& topo, int pu) {
+  ORWL_CHECK_MSG(pu >= 0 && pu < topo.num_pus(), "bad pu " << pu);
+  return domain_of(topo, pu, domain_depth(topo));
+}
+
 Report simulate(const topo::Topology& topo, const LinkCost& cost,
                 const Workload& load, const Placement& placement,
                 std::uint64_t seed) {
@@ -44,6 +49,9 @@ Report simulate(const topo::Topology& topo, const LinkCost& cost,
                  "placement.control_pu size mismatch");
   ORWL_CHECK_MSG(ssize_of(placement.data_home_pu) == n,
                  "placement.data_home_pu size mismatch");
+  ORWL_CHECK_MSG(placement.data_interleaved.empty() ||
+                     ssize_of(placement.data_interleaved) == n,
+                 "placement.data_interleaved size mismatch");
   ORWL_CHECK_MSG(load.iterations >= 1, "need at least one iteration");
   const int npus = topo.num_pus();
   for (const Edge& e : load.edges)
@@ -147,13 +155,24 @@ Report simulate(const topo::Topology& topo, const LinkCost& cost,
 
       const double compute = th.flops / cost.compute_rate;
 
-      const int hpu = home[static_cast<std::size_t>(t)];
-      const int mem_dca = topo.common_ancestor_depth(
-          pu_obj, *pus[static_cast<std::size_t>(hpu)]);
-      const double memory =
-          th.mem_bytes / cost.bandwidth[static_cast<std::size_t>(mem_dca)];
-      domain_bytes[static_cast<std::size_t>(
-          domain_of(topo, hpu, dom_depth))] += th.mem_bytes;
+      double memory = 0.0;
+      if (!placement.data_interleaved.empty() &&
+          placement.data_interleaved[static_cast<std::size_t>(t)]) {
+        // Interleaved pages: the stream runs at the blended bandwidth and
+        // its bytes spread evenly over every domain controller.
+        memory = th.mem_bytes / cost.interleave_bandwidth;
+        const double share = th.mem_bytes / ndomains;
+        for (int d = 0; d < ndomains; ++d)
+          domain_bytes[static_cast<std::size_t>(d)] += share;
+      } else {
+        const int hpu = home[static_cast<std::size_t>(t)];
+        const int mem_dca = topo.common_ancestor_depth(
+            pu_obj, *pus[static_cast<std::size_t>(hpu)]);
+        memory =
+            th.mem_bytes / cost.bandwidth[static_cast<std::size_t>(mem_dca)];
+        domain_bytes[static_cast<std::size_t>(
+            domain_of(topo, hpu, dom_depth))] += th.mem_bytes;
+      }
 
       double lock = 0.0;
       if (th.acquires > 0) {

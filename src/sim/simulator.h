@@ -65,6 +65,11 @@ struct Placement {
   /// everything on PU 0's domain (serial initialization — the naive OpenMP
   /// first-touch pattern).
   std::vector<int> data_home_pu;
+  /// Per thread: nonzero = its working set is interleaved across all
+  /// memory domains (memory policy numa_interleave) — streams run at
+  /// LinkCost::interleave_bandwidth and the bytes spread evenly over the
+  /// domains instead of landing on one home. Empty = nobody interleaved.
+  std::vector<char> data_interleaved;
   /// Probability an unbound thread keeps last iteration's PU.
   double stickiness = 0.5;
   /// How an unbound thread picks a PU when it moves: 1 = uniformly random,
@@ -90,5 +95,11 @@ struct Report {
 Report simulate(const topo::Topology& topo, const LinkCost& cost,
                 const Workload& load, const Placement& placement,
                 std::uint64_t seed = 1);
+
+/// Logical index of the memory domain serving a PU — the first package /
+/// NUMA level of the tree (the whole machine when there is none). The
+/// granularity at which simulate() serializes domain traffic and at which
+/// the numa_local policy considers pages to have physically moved.
+int memory_domain_of(const topo::Topology& topo, int pu);
 
 }  // namespace orwl::sim

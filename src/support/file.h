@@ -1,0 +1,26 @@
+#pragma once
+// Small file-reading helpers shared by the sysfs parsers (topo/sysfs.cpp,
+// mem/numa.cpp).
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace orwl {
+
+/// Whole file as a string, trailing newlines/spaces trimmed; nullopt when
+/// the file cannot be opened.
+inline std::optional<std::string> read_file_trimmed(
+    const std::filesystem::path& p) {
+  std::ifstream in(p);
+  if (!in) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  std::string s = os.str();
+  while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+  return s;
+}
+
+}  // namespace orwl

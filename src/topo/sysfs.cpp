@@ -1,29 +1,18 @@
 #include "topo/sysfs.h"
 
 #include <filesystem>
-#include <fstream>
 #include <map>
-#include <sstream>
 
 #include "support/assert.h"
+#include "support/file.h"
 #include "support/log.h"
 
 namespace orwl::topo {
 
 namespace {
 
-std::optional<std::string> read_file(const std::filesystem::path& p) {
-  std::ifstream in(p);
-  if (!in) return std::nullopt;
-  std::ostringstream os;
-  os << in.rdbuf();
-  std::string s = os.str();
-  while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
-  return s;
-}
-
 std::optional<int> read_int(const std::filesystem::path& p) {
-  const auto s = read_file(p);
+  const auto s = read_file_trimmed(p);
   if (!s) return std::nullopt;
   try {
     return std::stoi(*s);
@@ -38,7 +27,7 @@ std::optional<Topology> detect_from_sysfs(const std::string& sysfs_root) {
   namespace fs = std::filesystem;
   const fs::path cpu_dir = fs::path(sysfs_root) / "devices/system/cpu";
 
-  const auto online_str = read_file(cpu_dir / "online");
+  const auto online_str = read_file_trimmed(cpu_dir / "online");
   if (!online_str) return std::nullopt;
   Bitmap online;
   try {
@@ -62,7 +51,7 @@ std::optional<Topology> detect_from_sysfs(const std::string& sysfs_root) {
       } catch (const std::exception&) {
         continue;
       }
-      if (const auto list = read_file(entry.path() / "cpulist")) {
+      if (const auto list = read_file_trimmed(entry.path() / "cpulist")) {
         try {
           for (int cpu : Bitmap::parse_list(*list).to_vector())
             cpu_numa[cpu] = node_id;
@@ -88,7 +77,7 @@ std::optional<Topology> detect_from_sysfs(const std::string& sysfs_root) {
   auto read_mask = [&](const fs::path& dir, const char* preferred,
                        const char* legacy) -> std::optional<Bitmap> {
     for (const char* name : {preferred, legacy}) {
-      if (const auto s = read_file(dir / name)) {
+      if (const auto s = read_file_trimmed(dir / name)) {
         try {
           return Bitmap::parse_hex_mask(*s);
         } catch (const ContractError&) {
@@ -152,8 +141,10 @@ std::optional<Topology> detect_from_sysfs(const std::string& sysfs_root) {
         numa = std::make_unique<Object>();
         numa->type = ObjType::NUMANode;
         numa->parent = pack.get();
+        // Keep the OS node id: memory placement (mem/numa.h) speaks OS
+        // node ids, and lstopo-style output can show them.
+        numa->os_index = numa_id;
         core_parent = numa.get();
-        (void)numa_id;
       }
       for (const auto& [core_id, cpus] : cores) {
         auto core = std::make_unique<Object>();

@@ -13,5 +13,6 @@ Built build_wavefront(Program& p, const Params& params);
 Built build_alltoall(Program& p, const Params& params);
 Built build_pipeline(Program& p, const Params& params);
 Built build_phaseshift(Program& p, const Params& params);
+Built build_oversub(Program& p, const Params& params);
 
 }  // namespace orwl::workloads::detail

@@ -106,6 +106,11 @@ const std::vector<Workload>& registry() {
        "through the run (online re-placement showcase)",
        {.tasks = 64, .size = 65536, .iterations = 32},
        detail::build_phaseshift},
+      {"oversub",
+       "oversubscription stress: periodic token ring with tasks >> PUs "
+       "(2*tasks live threads; yield storms, futex convoys)",
+       {.tasks = 48, .size = 128, .iterations = 6},
+       detail::build_oversub},
   };
   return entries;
 }

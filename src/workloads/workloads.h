@@ -20,7 +20,11 @@
 //   pipeline  — a linear stage chain streaming frames hand-to-hand;
 //   phaseshift — block-grid stencil that switches to a transpose exchange
 //               halfway through the run: the demonstration workload for
-//               epoch-based online re-placement (place/replace.h).
+//               epoch-based online re-placement (place/replace.h);
+//   oversub   — oversubscription stress: a periodic token ring whose
+//               default task count dwarfs any host's PU count, surfacing
+//               the scheduling pathologies (yield storms, futex convoys)
+//               that only appear when threads far outnumber PUs.
 //
 // Every Built workload can verify its numerical result against a
 // sequential reference, bit-for-bit where the decomposition allows it.

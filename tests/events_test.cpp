@@ -73,6 +73,69 @@ TEST(EventQueue, PostAfterStopStillDelivered) {
   EXPECT_EQ(q.pop()->request, &r);
 }
 
+TEST(EventQueue, PopAllDrainsTheWholeBacklogInOnePass) {
+  EventQueue q;
+  Request r[4];
+  for (auto& x : r) q.post({&x});
+  std::vector<Event> batch;
+  ASSERT_TRUE(q.pop_all(batch));
+  ASSERT_EQ(batch.size(), 4u);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(batch[static_cast<std::size_t>(i)].request, &r[i]);
+  EXPECT_EQ(q.pending(), 0u);
+  // Appends rather than clears: the caller owns the buffer lifecycle.
+  q.post({&r[1]});
+  ASSERT_TRUE(q.pop_all(batch));
+  EXPECT_EQ(batch.size(), 5u);
+}
+
+TEST(EventQueue, PopAllBlocksThenReturnsFalseOnceStoppedAndDrained) {
+  EventQueue q;
+  Request r;
+  std::atomic<int> batches{0};
+  std::thread consumer([&] {
+    std::vector<Event> batch;
+    while (q.pop_all(batch)) {
+      batches += 1;
+      batch.clear();
+    }
+    EXPECT_TRUE(batch.empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.post({&r});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.stop();
+  consumer.join();
+  EXPECT_GE(batches.load(), 1);
+}
+
+TEST(EventQueue, ManyProducersOneBatchedConsumer) {
+  EventQueue q;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  std::vector<Request> reqs(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        q.post({&reqs[static_cast<std::size_t>(p * kPerProducer + i)]});
+    });
+  }
+  std::atomic<int> received{0};
+  std::thread consumer([&] {
+    std::vector<Event> batch;
+    while (received < kProducers * kPerProducer) {
+      if (q.pop_all(batch)) {
+        received += static_cast<int>(batch.size());
+        batch.clear();
+      }
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(received, kProducers * kPerProducer);
+}
+
 TEST(EventQueue, ManyProducersOneConsumer) {
   EventQueue q;
   constexpr int kProducers = 8;

@@ -9,10 +9,13 @@
 #include <gtest/gtest.h>
 
 #include "comm/metrics.h"
+#include "mem/numa.h"
+#include "mem/policy.h"
 #include "orwl/backend.h"
 #include "orwl/program.h"
 #include "place/replace.h"
 #include "support/assert.h"
+#include "topo/bitmap.h"
 #include "topo/topology.h"
 #include "workloads/workloads.h"
 
@@ -291,6 +294,93 @@ TEST(OnlineReplacement, RuntimeDeterministicReplacementDecisions) {
   const std::vector<bool> b = decisions();
   EXPECT_EQ(a, b);
   EXPECT_FALSE(a.empty());
+}
+
+// --------------------------------------------------------------------------
+// Location memory follows re-placement (memory policy numa_local).
+// --------------------------------------------------------------------------
+
+TEST(OnlineReplacement, LocationPagesFollowTheMigratedWriter) {
+  // Mechanism level, with a fabricated two-node inventory so the check is
+  // meaningful on single-node hosts: each location's target node must
+  // track its planned writer's PU across re-placements.
+  RuntimeOptions opts;
+  opts.memory = mem::MemoryPolicy::NumaLocal;
+  Runtime rt(opts);
+  const LocationId a = rt.add_location(4096, "a");
+  const LocationId b = rt.add_location(4096, "b");
+  const TaskId t0 = rt.add_task("w0", [](TaskContext&) {});
+  const TaskId t1 = rt.add_task("w1", [](TaskContext&) {});
+  rt.add_handle(t0, a, AccessMode::Write);
+  rt.add_handle(t1, b, AccessMode::Write);
+  // Readers must not steal ownership: the *first Write* handle decides.
+  rt.add_handle(t1, a, AccessMode::Read);
+
+  const auto topo = topo::Topology::synthetic("pack:2 pu:1");
+  const mem::NumaInfo numa = mem::NumaInfo::from_node_cpus(
+      {topo::Bitmap::single(0), topo::Bitmap::single(1)});
+
+  EXPECT_EQ(rt.place_location_memory({0, 1}, topo, &numa), 2);
+  EXPECT_EQ(rt.location_node(a), 0);
+  EXPECT_EQ(rt.location_node(b), 1);
+
+  // The writers swap PUs (an epoch re-placement): the pages follow.
+  EXPECT_EQ(rt.place_location_memory({1, 0}, topo, &numa), 2);
+  EXPECT_EQ(rt.location_node(a), 1);
+  EXPECT_EQ(rt.location_node(b), 0);
+
+  // Unchanged mapping: nothing left to move.
+  EXPECT_EQ(rt.place_location_memory({1, 0}, topo, &numa), 0);
+  // Unbound writer: its location stays where it is.
+  EXPECT_EQ(rt.place_location_memory({-1, 0}, topo, &numa), 0);
+  EXPECT_EQ(rt.location_node(a), 1);
+}
+
+TEST(OnlineReplacement, NumaLocalRunsEndToEndWithEpochMigration) {
+  Program p;
+  const workloads::Built built = workloads::get("phaseshift")
+      .build(p, {.tasks = 4, .size = 64, .iterations = 6});
+  p.place(place::Policy::TreeMatch);
+  p.replacement(place::ReplacementPolicy::every_epoch(2));
+  p.memory_policy(mem::MemoryPolicy::NumaLocal);
+  RuntimeBackend backend;
+  const RunReport rep = p.run(backend);
+  EXPECT_EQ(rep.replacements, 2);
+  for (const RunReport::EpochRecord& e : rep.epochs)
+    EXPECT_GE(e.moved_locations, 0);
+  std::string why;
+  EXPECT_TRUE(built.verify(backend, why)) << why;
+}
+
+TEST(OnlineReplacement, SimNumaLocalMovesHomesAndChargesPageMoves) {
+  const auto run = [](mem::MemoryPolicy mp) {
+    Program p;
+    workloads::get("phaseshift")
+        .build(p, {.tasks = 16, .size = 4096, .iterations = 16});
+    p.place(place::Policy::TreeMatch);
+    p.replacement(place::ReplacementPolicy::on_drift(0.25, 2));
+    p.memory_policy(mp);
+    SimBackend backend(topo::Topology::paper_machine());
+    return p.run(backend);
+  };
+  const RunReport heap = run(mem::MemoryPolicy::Heap);
+  const RunReport local = run(mem::MemoryPolicy::NumaLocal);
+  // Identical decision sequence; the memory policy only changes what a
+  // firing boundary costs and where the data lives afterwards.
+  ASSERT_EQ(heap.replacements, 1);
+  ASSERT_EQ(local.replacements, 1);
+  for (std::size_t i = 0; i < heap.epochs.size(); ++i) {
+    const RunReport::EpochRecord& h = heap.epochs[i];
+    const RunReport::EpochRecord& l = local.epochs[i];
+    EXPECT_EQ(h.replaced, l.replaced);
+    EXPECT_EQ(h.moved_locations, 0);
+    if (l.replaced) {
+      EXPECT_GT(l.moved_locations, 0);
+      // The page move is charged on top of the thread-migration cost.
+      EXPECT_GT(l.replace_seconds, h.replace_seconds);
+    }
+  }
+  EXPECT_NE(heap.seconds, local.seconds);
 }
 
 TEST(OnlineReplacement, HeterogeneousIterationCountsCannotDeadlock) {

@@ -117,8 +117,24 @@ TEST(Workloads, MeasuredFlowsMatchPredictedSupport) {
   }
 }
 
+// The oversubscription gate (ROADMAP stress tier): tasks far beyond the
+// PU count — on the 1-PU CI hosts this is 32 compute + 32 control
+// threads convoying on one core — must still verify bit-exactly, bound
+// or unbound.
+TEST(Workloads, OversubscriptionStressTasksFarBeyondPUs) {
+  Program p;
+  const Built built = get("oversub").build(
+      p, {.tasks = 32, .size = 8, .iterations = 4});
+  p.place(place::Policy::Compact);  // wraps all 32 tasks onto the real PUs
+  RuntimeBackend backend;
+  const RunReport rep = p.run(backend);
+  EXPECT_TRUE(rep.placed);
+  std::string why;
+  EXPECT_TRUE(built.verify(backend, why)) << why;
+}
+
 TEST(Workloads, SingleTaskDegenerateCasesRun) {
-  for (const char* name : {"alltoall", "pipeline"}) {
+  for (const char* name : {"alltoall", "pipeline", "oversub"}) {
     Program p;
     const Built built =
         get(name).build(p, {.tasks = 1, .size = 8, .iterations = 2});

@@ -52,6 +52,13 @@ int usage(const char* argv0, int code) {
         "|\n"
      << "                  spin_then_park[(N)] (default: runtime default, "
         "block)\n"
+     << "  --memory-policy P   location memory: heap | numa_local | "
+        "numa_interleave\n"
+     << "                  (default heap); a non-heap policy runs each "
+        "case twice —\n"
+     << "                  heap, then the policy — so the memory win is "
+        "visible\n"
+     << "                  side by side\n"
      << "  --no-verify     skip result verification\n"
      << "  --seed N        placement / simulation seed (default 42)\n"
      << "  --json PATH     write machine-readable results (BENCH_*.json)\n";
@@ -74,6 +81,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   place::ReplacementPolicy replace;
   replace.epoch_length = 2;
+  mem::MemoryPolicy mempol = mem::MemoryPolicy::Heap;
 
   const auto need_value = [&](std::size_t& i) -> std::string {
     if (i + 1 >= args.size()) {
@@ -139,6 +147,7 @@ int main(int argc, char** argv) {
     else if (a == "--epoch") replace.epoch_length = static_cast<int>(parse_long(a, need_value(i)));
     else if (a == "--tau") replace.drift_threshold = parse_double(a, need_value(i));
     else if (a == "--wait-strategy") base.wait = sync::parse_wait_strategy(need_value(i));
+    else if (a == "--memory-policy") mempol = mem::parse_memory_policy(need_value(i));
     else if (a == "--no-verify") base.verify = false;
     else if (a == "--seed") base.seed = static_cast<std::uint64_t>(parse_long(a, need_value(i)));
     else if (a == "--json") json_path = need_value(i);
@@ -170,6 +179,11 @@ int main(int argc, char** argv) {
     else
       policies = {place::parse_policy(policy_arg)};
 
+    // A non-heap memory policy pairs every case with its heap twin, the
+    // same way --replace pairs static with adaptive.
+    std::vector<mem::MemoryPolicy> memories = {mem::MemoryPolicy::Heap};
+    if (mempol != mem::MemoryPolicy::Heap) memories.push_back(mempol);
+
     for (const std::string& name : workload_names) {
       harness::CaseSpec spec = base;
       spec.workload = name;
@@ -177,16 +191,20 @@ int main(int argc, char** argv) {
       if (!tasks_set) spec.params.tasks = defaults.tasks;
       if (!size_set) spec.params.size = defaults.size;
       if (!iters_set) spec.params.iterations = defaults.iterations;
-      for (const harness::CaseResult& r :
-           harness::run_sweep(spec, policies, backends))
-        results.push_back(r);
-      if (replace.enabled()) {
-        // The same grid again with online re-placement, so each adaptive
-        // case sits next to its static twin in the output.
-        spec.replacement = replace;
+      for (const mem::MemoryPolicy memory : memories) {
+        spec.memory = memory;
+        spec.replacement = {};
         for (const harness::CaseResult& r :
              harness::run_sweep(spec, policies, backends))
           results.push_back(r);
+        if (replace.enabled()) {
+          // The same grid again with online re-placement, so each
+          // adaptive case sits next to its static twin in the output.
+          spec.replacement = replace;
+          for (const harness::CaseResult& r :
+               harness::run_sweep(spec, policies, backends))
+            results.push_back(r);
+        }
       }
     }
   } catch (const std::exception& e) {

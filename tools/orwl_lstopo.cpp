@@ -1,4 +1,6 @@
-// orwl-lstopo: print a machine topology, lstopo-style.
+// orwl-lstopo: print a machine topology, lstopo-style, plus the NUMA node
+// inventory (cpus, memory size, SLIT distances) placement and memory
+// decisions are based on.
 //
 // Usage:
 //   orwl-lstopo                      # detected host machine
@@ -6,12 +8,53 @@
 //   orwl-lstopo --dot [spec]         # graphviz output
 //   orwl-lstopo --sysfs <root> [..]  # detect from an alternate sysfs root
 
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "mem/numa.h"
 #include "topo/sysfs.h"
 #include "topo/topology.h"
+
+namespace {
+
+std::string fmt_bytes(long long bytes) {
+  if (bytes < 0) return "?";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (bytes >= (1LL << 30))
+    os << static_cast<double>(bytes) / (1LL << 30) << " GiB";
+  else if (bytes >= (1LL << 20))
+    os << static_cast<double>(bytes) / (1LL << 20) << " MiB";
+  else
+    os << bytes << " B";
+  return os.str();
+}
+
+/// The node inventory: memory sizes and distances are what numa_local /
+/// numa_interleave placement trades off, so make them inspectable.
+void print_numa(const orwl::mem::NumaInfo& numa) {
+  if (!numa.available()) {
+    std::cout << "numa: no nodes exposed (memory policies fall back)\n";
+    return;
+  }
+  std::cout << "numa: " << numa.num_nodes() << " node"
+            << (numa.num_nodes() == 1 ? "" : "s") << '\n';
+  for (const orwl::mem::NumaNode& node : numa.nodes()) {
+    std::cout << "  node" << node.id << ": cpus "
+              << node.cpus.to_list_string() << "  mem "
+              << fmt_bytes(node.mem_bytes);
+    if (!node.distances.empty()) {
+      std::cout << "  distance";
+      for (const int d : node.distances) std::cout << ' ' << d;
+    }
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace orwl::topo;
@@ -64,6 +107,11 @@ int main(int argc, char** argv) {
     std::cout << "machine: " << topo.summary() << " — " << topo.num_pus()
               << " PUs, depth " << topo.depth() << '\n'
               << topo.to_string();
+    // NUMA inventory comes from sysfs, so it only applies to detected
+    // machines — a synthetic spec has no node directories to read.
+    if (positional.empty())
+      print_numa(orwl::mem::NumaInfo::detect(
+          sysfs_root.empty() ? "/sys" : sysfs_root));
   }
   return 0;
 }
