@@ -26,7 +26,7 @@ ForkJoinPool::ForkJoinPool(
 
 ForkJoinPool::~ForkJoinPool() {
   {
-    std::lock_guard lock(mu_);
+    sync::LockGuard lock(mu_);
     stopping_ = true;
   }
   start_cv_.notify_all();
@@ -51,7 +51,7 @@ void ForkJoinPool::run_chunk(int rank) {
   try {
     (*body_)(begin_ + cb, begin_ + ce);
   } catch (...) {
-    std::lock_guard lock(mu_);
+    sync::LockGuard lock(mu_);
     if (!error_) error_ = std::current_exception();
   }
 }
@@ -62,15 +62,17 @@ void ForkJoinPool::worker_loop(int rank, std::optional<topo::Bitmap> cpuset) {
   std::uint64_t seen = 0;
   while (true) {
     {
-      std::unique_lock lock(mu_);
-      start_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+      sync::UniqueLock lock(mu_);
+      // Explicit wait loop (not the predicate overload): the analysis can
+      // then check the guarded reads against the held lock directly.
+      while (!stopping_ && epoch_ == seen) start_cv_.wait(lock);
       if (stopping_) return;
       seen = epoch_;
     }
     run_chunk(rank);
     bool last = false;
     {
-      std::lock_guard lock(mu_);
+      sync::LockGuard lock(mu_);
       last = --remaining_ == 0;
     }
     if (last) done_cv_.notify_one();
@@ -81,7 +83,7 @@ void ForkJoinPool::parallel_for(long begin, long end,
                                 const std::function<void(long, long)>& body) {
   ORWL_CHECK_MSG(begin <= end, "bad range [" << begin << ", " << end << ")");
   {
-    std::lock_guard lock(mu_);
+    sync::LockGuard lock(mu_);
     begin_ = begin;
     end_ = end;
     body_ = &body;
@@ -92,8 +94,8 @@ void ForkJoinPool::parallel_for(long begin, long end,
   start_cv_.notify_all();
   run_chunk(0);  // the caller is rank 0
   {
-    std::unique_lock lock(mu_);
-    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    sync::UniqueLock lock(mu_);
+    while (remaining_ != 0) done_cv_.wait(lock);
     body_ = nullptr;
     if (error_) {
       auto err = error_;

@@ -9,11 +9,12 @@
 #include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "support/thread_annotations.h"
+#include "sync/mutex.h"
 #include "topo/bitmap.h"
 
 namespace orwl::baselines {
@@ -51,22 +52,26 @@ class ForkJoinPool {
 
  private:
   void worker_loop(int rank, std::optional<topo::Bitmap> cpuset);
-  void run_chunk(int rank);
+  void run_chunk(int rank) ORWL_EXCLUDES(mu_);
 
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t epoch_ = 0;  // bumped per parallel_for
-  int remaining_ = 0;        // workers still running the current epoch
-  bool stopping_ = false;
+  sync::Mutex mu_;
+  // condition_variable_any: waits on the annotated sync::UniqueLock.
+  std::condition_variable_any start_cv_;
+  std::condition_variable_any done_cv_;
+  std::uint64_t epoch_ ORWL_GUARDED_BY(mu_) = 0;  // bumped per parallel_for
+  int remaining_ ORWL_GUARDED_BY(mu_) = 0;  // workers still in the epoch
+  bool stopping_ ORWL_GUARDED_BY(mu_) = false;
 
+  // Loop descriptor for the current epoch. Written under mu_ by
+  // parallel_for; workers read it between the start and done waits, when
+  // the protocol (not the mutex) guarantees exclusive stability.
   long begin_ = 0;
   long end_ = 0;
   const std::function<void(long, long)>* body_ = nullptr;
-  std::exception_ptr error_;
+  std::exception_ptr error_ ORWL_GUARDED_BY(mu_);
 };
 
 }  // namespace orwl::baselines

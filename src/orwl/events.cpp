@@ -1,26 +1,31 @@
 #include "orwl/events.h"
 
+#include "sync/mutex.h"
 #include "sync/waiter.h"
 
 namespace orwl {
 
 void EventQueue::post(Event ev) {
   {
-    std::lock_guard lock(mu_);
+    sync::LockGuard lock(mu_);
     events_.push_back(ev);
   }
+  // order: release — the bump publishes the backlog entry; the consumer's
+  // acquire load in the waiter pairs with it before re-checking.
   seq_.fetch_add(1, std::memory_order_release);
   sync::notify_one(seq_);
 }
 
 std::optional<Event> EventQueue::pop() {
   for (;;) {
-    // Read the sequence BEFORE inspecting the backlog: a post that lands
-    // after the (empty) inspection has bumped seq_ past `s`, so the wait
-    // below returns immediately instead of missing the wake.
+    // order: acquire — read the sequence BEFORE inspecting the backlog: a
+    // post that lands after the (empty) inspection has bumped seq_ past
+    // `s`, so the wait below returns immediately instead of missing the
+    // wake.
+    // order: acquire — pairs with post()'s release bump; see above.
     const std::uint32_t s = seq_.load(std::memory_order_acquire);
     {
-      std::lock_guard lock(mu_);
+      sync::LockGuard lock(mu_);
       if (!events_.empty()) {
         Event ev = events_.front();
         events_.pop_front();
@@ -34,12 +39,12 @@ std::optional<Event> EventQueue::pop() {
 
 bool EventQueue::pop_all(std::vector<Event>& out) {
   for (;;) {
-    // Same ordering protocol as pop(): read the sequence before the
-    // backlog so a concurrent post cannot slip between inspection and
-    // park.
+    // order: acquire — same ordering protocol as pop(): read the sequence
+    // before the backlog so a concurrent post cannot slip between
+    // inspection and park.
     const std::uint32_t s = seq_.load(std::memory_order_acquire);
     {
-      std::lock_guard lock(mu_);
+      sync::LockGuard lock(mu_);
       if (!events_.empty()) {
         out.insert(out.end(), events_.begin(), events_.end());
         events_.clear();
@@ -53,15 +58,17 @@ bool EventQueue::pop_all(std::vector<Event>& out) {
 
 void EventQueue::stop() {
   {
-    std::lock_guard lock(mu_);
+    sync::LockGuard lock(mu_);
     stopped_ = true;
   }
+  // order: release — publishes stopped_ to poppers the same way post()
+  // publishes a backlog entry.
   seq_.fetch_add(1, std::memory_order_release);
   sync::notify_all(seq_);
 }
 
 std::size_t EventQueue::pending() const {
-  std::lock_guard lock(mu_);
+  sync::LockGuard lock(mu_);
   return events_.size();
 }
 

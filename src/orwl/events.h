@@ -14,11 +14,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "orwl/fwd.h"
+#include "support/thread_annotations.h"
+#include "sync/mutex.h"
 #include "sync/wait_strategy.h"
 
 namespace orwl {
@@ -39,29 +40,29 @@ class EventQueue {
 
   /// Enqueue an event. Safe from any thread, including while a location
   /// queue lock is held.
-  void post(Event ev);
+  void post(Event ev) ORWL_EXCLUDES(mu_);
 
   /// Block until an event is available or stop() is called.
   /// Returns nullopt once stopped and drained.
-  std::optional<Event> pop();
+  std::optional<Event> pop() ORWL_EXCLUDES(mu_);
 
   /// Batched pop: block like pop(), then drain the ENTIRE backlog in one
   /// pass, appending it to `out` (one lock acquisition per wake instead of
   /// one per event — the burst path of the control threads). Returns
   /// false once stopped and drained, leaving `out` untouched.
-  bool pop_all(std::vector<Event>& out);
+  bool pop_all(std::vector<Event>& out) ORWL_EXCLUDES(mu_);
 
   /// Wake all poppers; subsequent pops drain the backlog then return
   /// nullopt.
-  void stop();
+  void stop() ORWL_EXCLUDES(mu_);
 
   /// Events currently queued (diagnostics).
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t pending() const ORWL_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::deque<Event> events_;
-  bool stopped_ = false;
+  mutable sync::Mutex mu_;
+  std::deque<Event> events_ ORWL_GUARDED_BY(mu_);
+  bool stopped_ ORWL_GUARDED_BY(mu_) = false;
   /// Bumped (release) on every post/stop; the consumer parks on it.
   std::atomic<std::uint32_t> seq_{0};
   sync::WaitStrategy wait_;

@@ -19,6 +19,8 @@ Handle::Handle(HandleId id, TaskId task, LocationBuffer& location,
 void Handle::request() {
   ORWL_CHECK_MSG(!acquired_, "request() while holding the lock; use "
                              "release_and_renew() instead");
+  // order: relaxed — only the owning thread moves a slot out of
+  // Inactive, and that owner is the caller.
   ORWL_CHECK_MSG(current().state.load(std::memory_order_relaxed) ==
                      RequestState::Inactive,
                  "handle " << id_ << " already has a request in flight");
@@ -28,6 +30,8 @@ void Handle::request() {
 std::span<std::byte> Handle::acquire() {
   ORWL_CHECK_MSG(!acquired_, "acquire() while already holding the lock");
   Request& cur = current();
+  // order: acquire — pairs with the queue's release store of Granted; it
+  // publishes the previous holder's buffer writes on the fast path.
   RequestState s = cur.state.load(std::memory_order_acquire);
   ORWL_CHECK_MSG(s != RequestState::Inactive,
                  "acquire() without a prior request()");
@@ -51,6 +55,8 @@ std::span<const std::byte> Handle::acquire_const() {
 }
 
 bool Handle::test() const {
+  // order: acquire — a true result may be followed by buffer access
+  // without a further acquire (same pairing as the acquire() fast path).
   return current().state.load(std::memory_order_acquire) ==
          RequestState::Granted;
 }

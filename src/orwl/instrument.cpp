@@ -2,6 +2,7 @@
 
 #include "support/assert.h"
 #include "support/thread.h"
+#include "sync/mutex.h"
 
 namespace orwl {
 
@@ -14,7 +15,7 @@ void Instrument::resize(int num_tasks) {
                  "instrument cannot shrink below recorded tasks");
   order_ = num_tasks;
   for (FlowShard& s : shards_) {
-    std::lock_guard lock(s.mu);
+    sync::LockGuard lock(s.mu);
     s.flows.resize(num_tasks);
   }
 }
@@ -30,7 +31,7 @@ void Instrument::record_flow(TaskId from, TaskId to, std::size_t bytes) {
   FlowShard& shard =
       shards_[static_cast<std::size_t>(current_thread_index()) &
               (kFlowShards - 1)];
-  std::lock_guard lock(shard.mu);
+  sync::LockGuard lock(shard.mu);
   if (from >= shard.flows.order() || to >= shard.flows.order()) return;
   shard.flows.add(from, to, static_cast<double>(bytes));
 }
@@ -38,7 +39,7 @@ void Instrument::record_flow(TaskId from, TaskId to, std::size_t bytes) {
 comm::CommMatrix Instrument::flow_matrix() const {
   comm::CommMatrix total;
   for (const FlowShard& s : shards_) {
-    std::lock_guard lock(s.mu);
+    sync::LockGuard lock(s.mu);
     if (total.order() < s.flows.order()) total.resize(s.flows.order());
     for (int i = 0; i < s.flows.order(); ++i)
       for (int j = i + 1; j < s.flows.order(); ++j) {
@@ -51,13 +52,13 @@ comm::CommMatrix Instrument::flow_matrix() const {
 
 void Instrument::begin_epoch() {
   comm::CommMatrix snapshot = flow_matrix();
-  std::lock_guard lock(epoch_mu_);
+  sync::LockGuard lock(epoch_mu_);
   epoch_base_ = std::move(snapshot);
 }
 
 comm::CommMatrix Instrument::epoch_flow_matrix() const {
   const comm::CommMatrix now = flow_matrix();
-  std::lock_guard lock(epoch_mu_);
+  sync::LockGuard lock(epoch_mu_);
   comm::CommMatrix delta(now.order());
   for (int i = 0; i < now.order(); ++i) {
     for (int j = i + 1; j < now.order(); ++j) {

@@ -13,10 +13,11 @@
 // flush by summing the shards; they are rare and off the hot path.
 
 #include <cstdint>
-#include <mutex>
 
 #include "comm/comm_matrix.h"
 #include "orwl/fwd.h"
+#include "support/thread_annotations.h"
+#include "sync/mutex.h"
 #include "sync/sharded_counter.h"
 
 namespace orwl {
@@ -65,8 +66,8 @@ class Instrument {
   static constexpr int kFlowShards = 8;  // power of two (mask indexing)
 
   struct alignas(sync::kCacheLine) FlowShard {
-    mutable std::mutex mu;
-    comm::CommMatrix flows;
+    mutable sync::Mutex mu;
+    comm::CommMatrix flows ORWL_GUARDED_BY(mu);
   };
 
   sync::ShardedCounter read_grants_;
@@ -75,8 +76,9 @@ class Instrument {
   FlowShard shards_[kFlowShards];
   int order_ = 0;  ///< construction-phase only (resize before run)
 
-  mutable std::mutex epoch_mu_;
-  comm::CommMatrix epoch_base_;  ///< flow_matrix() snapshot at begin_epoch()
+  mutable sync::Mutex epoch_mu_;
+  /// flow_matrix() snapshot at begin_epoch().
+  comm::CommMatrix epoch_base_ ORWL_GUARDED_BY(epoch_mu_);
 };
 
 }  // namespace orwl

@@ -8,24 +8,27 @@ namespace orwl {
 
 namespace {
 
-#ifndef NDEBUG
+#if ORWL_PROTOCOL_ASSERTS_ENABLED
 /// Queue this thread is currently announcing grants for; the documented
-/// "must not re-enter the queue" sink contract becomes a debug assert
-/// instead of a silent recursive-mutex deadlock.
+/// "must not re-enter the queue" sink contract becomes a protocol assert
+/// (live in RelWithDebInfo/Release builds too) instead of a silent
+/// recursive-mutex deadlock.
 thread_local const FifoQueue* tl_announcing = nullptr;
 #endif
 
 RequestState state_of(const Request& req) {
+  // order: relaxed — every call site holds the queue lock, which already
+  // orders these loads against the queue's own stores.
   return req.state.load(std::memory_order_relaxed);
 }
 
 }  // namespace
 
 void FifoQueue::check_not_reentered() const {
-#ifndef NDEBUG
-  ORWL_CHECK_MSG(tl_announcing != this,
-                 "grant sink re-entered its own FifoQueue — sinks must "
-                 "only announce, never call back into the queue");
+#if ORWL_PROTOCOL_ASSERTS_ENABLED
+  ORWL_ASSERT_MSG(tl_announcing != this,
+                  "grant sink re-entered its own FifoQueue — sinks must "
+                  "only announce, never call back into the queue");
 #endif
 }
 
@@ -35,7 +38,7 @@ FifoQueue::FifoQueue(GrantSink* sink) : sink_(sink) {
 
 void FifoQueue::insert(Request& req) {
   check_not_reentered();
-  std::lock_guard lock(mu_);
+  sync::LockGuard lock(mu_);
   insert_locked(req);
 }
 
@@ -44,8 +47,8 @@ void FifoQueue::insert_locked(Request& req) {
                  "request already queued (state "
                      << static_cast<int>(state_of(req)) << ")");
   req.ticket = next_ticket_++;
-  // Relaxed: only the owning thread consumes Requested, and it issued (or
-  // is issuing) this very call.
+  // order: relaxed — only the owning thread consumes Requested, and it
+  // issued (or is issuing) this very call.
   req.state.store(RequestState::Requested, std::memory_order_relaxed);
   queue_.push_back(&req);
   advance_locked();
@@ -53,14 +56,14 @@ void FifoQueue::insert_locked(Request& req) {
 
 void FifoQueue::release(Request& req) {
   check_not_reentered();
-  std::lock_guard lock(mu_);
+  sync::LockGuard lock(mu_);
   release_locked(req);
   advance_locked();
 }
 
 void FifoQueue::release_and_renew(Request& current, Request& next) {
   check_not_reentered();
-  std::lock_guard lock(mu_);
+  sync::LockGuard lock(mu_);
   ORWL_CHECK_MSG(&current != &next,
                  "release_and_renew needs two distinct requests");
   ORWL_CHECK_MSG(state_of(current) == RequestState::Granted,
@@ -70,6 +73,8 @@ void FifoQueue::release_and_renew(Request& current, Request& next) {
   ORWL_CHECK_MSG(state_of(next) == RequestState::Inactive,
                  "renewal request already queued");
   next.ticket = next_ticket_++;
+  // order: relaxed — same as insert_locked: the owner itself is issuing
+  // this renewal; nobody else consumes Requested.
   next.state.store(RequestState::Requested, std::memory_order_relaxed);
   queue_.push_back(&next);
   release_locked(current);
@@ -81,14 +86,17 @@ void FifoQueue::release_locked(Request& req) {
                  "releasing a request that is not granted (state "
                      << static_cast<int>(state_of(req)) << ")");
   const auto it = std::find(queue_.begin(), queue_.end(), &req);
-  ORWL_CHECK_MSG(it != queue_.end(), "released request not in queue");
+  ORWL_ASSERT_MSG(it != queue_.end(),
+                  "released request not in queue — protocol state corrupt");
   queue_.erase(it);
+  // order: relaxed — the owner that released is the only thread that will
+  // reuse this slot, and it is the thread executing this store.
   req.state.store(RequestState::Inactive, std::memory_order_relaxed);
 }
 
 void FifoQueue::advance_locked() {
   if (queue_.empty()) return;
-#ifndef NDEBUG
+#if ORWL_PROTOCOL_ASSERTS_ENABLED
   // RAII so a throwing sink (or the re-entrancy assert itself) cannot
   // leave the thread-local marker stale.
   struct AnnounceScope {
@@ -100,12 +108,14 @@ void FifoQueue::advance_locked() {
   } announce_scope(this);
 #endif
   // Grant frontier: head Write alone, or the maximal head run of Reads.
-  // Granted is stored with release ordering: the next holder's acquire
-  // load of the state is what publishes the previous holder's writes to
-  // the location buffer.
+  // order: release on the Granted stores — the next holder's acquire load
+  // of the state is what publishes the previous holder's writes to the
+  // location buffer.
   if (queue_.front()->mode == AccessMode::Write) {
     Request& head = *queue_.front();
     if (state_of(head) == RequestState::Requested) {
+      // order: release — publishes the previous holder's writes to the
+      // grantee (pairs with Handle::acquire's acquire load).
       head.state.store(RequestState::Granted, std::memory_order_release);
       sink_->on_grant(head);
     }
@@ -113,6 +123,7 @@ void FifoQueue::advance_locked() {
     for (Request* req : queue_) {
       if (req->mode != AccessMode::Read) break;
       if (state_of(*req) == RequestState::Requested) {
+        // order: release — same publication contract as the Write branch.
         req->state.store(RequestState::Granted, std::memory_order_release);
         sink_->on_grant(*req);
       }
@@ -121,12 +132,12 @@ void FifoQueue::advance_locked() {
 }
 
 std::size_t FifoQueue::size() const {
-  std::lock_guard lock(mu_);
+  sync::LockGuard lock(mu_);
   return queue_.size();
 }
 
 std::vector<FifoQueue::Entry> FifoQueue::snapshot() const {
-  std::lock_guard lock(mu_);
+  sync::LockGuard lock(mu_);
   std::vector<Entry> out;
   out.reserve(queue_.size());
   for (const Request* req : queue_)

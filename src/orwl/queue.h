@@ -19,11 +19,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "orwl/fwd.h"
+#include "support/thread_annotations.h"
+#include "sync/mutex.h"
 
 namespace orwl {
 
@@ -53,6 +54,8 @@ struct Request {
   Request() = default;
   Request(const Request& o)
       : mode(o.mode),
+        // order: relaxed — copying is documented single-threaded setup
+        // only; there is no concurrent writer to synchronize with.
         state(o.state.load(std::memory_order_relaxed)),
         ticket(o.ticket),
         owner(o.owner),
@@ -60,6 +63,7 @@ struct Request {
         location(o.location) {}
   Request& operator=(const Request& o) {
     mode = o.mode;
+    // order: relaxed — single-threaded setup/test copies only (see above).
     state.store(o.state.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
     ticket = o.ticket;
@@ -72,7 +76,10 @@ struct Request {
 
 /// Grant announcement target, invoked (with the queue lock held) for every
 /// newly granted request. Implementations must be non-blocking and must
-/// not re-enter the announcing queue — debug builds assert on re-entry.
+/// not re-enter the announcing queue — ORWL_ASSERT fires on re-entry, in
+/// release builds too. Every on_grant override must carry the
+/// `sink-contract: no-queue-reentry` comment (enforced by
+/// tools/orwl_lint.py) as an explicit acknowledgement of that contract.
 /// An intrusive interface (the Runtime *is* the sink) instead of a
 /// std::function, so announcing a grant allocates nothing.
 class GrantSink {
@@ -89,6 +96,8 @@ template <class F>
 class GrantFn final : public GrantSink {
  public:
   explicit GrantFn(F fn) : fn_(std::move(fn)) {}
+  // sink-contract: no-queue-reentry — forwards to the wrapped callable,
+  // which inherits the obligation not to call back into the queue.
   void on_grant(Request& req) override { fn_(req); }
 
  private:
@@ -105,20 +114,21 @@ class FifoQueue {
 
   /// Append a request. The request must be Inactive. May grant it (and
   /// announce the grant) immediately when it lands in the head run.
-  void insert(Request& req);
+  void insert(Request& req) ORWL_EXCLUDES(mu_);
 
   /// Release a Granted request: remove it and advance the grant frontier,
   /// announcing any newly granted requests. Throws ContractError if the
   /// request is not currently granted.
-  void release(Request& req);
+  void release(Request& req) ORWL_EXCLUDES(mu_);
 
   /// Atomically insert `next` and release `current` — the iterative ORWL
   /// step: the renewal lands in the FIFO *before* the lock is given up, so
   /// the cyclic per-iteration order is preserved forever.
-  void release_and_renew(Request& current, Request& next);
+  void release_and_renew(Request& current, Request& next)
+      ORWL_EXCLUDES(mu_);
 
   /// Number of queued (Requested + Granted) requests.
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const ORWL_EXCLUDES(mu_);
 
   /// Snapshot of (ticket, mode, state) for tests/diagnostics.
   struct Entry {
@@ -126,17 +136,19 @@ class FifoQueue {
     AccessMode mode;
     RequestState state;
   };
-  [[nodiscard]] std::vector<Entry> snapshot() const;
+  [[nodiscard]] std::vector<Entry> snapshot() const ORWL_EXCLUDES(mu_);
 
  private:
-  void insert_locked(Request& req);
-  void release_locked(Request& req);
-  void advance_locked();  // grant the head run, announce new grants
-  void check_not_reentered() const;  // debug: sink must not call back in
+  void insert_locked(Request& req) ORWL_REQUIRES(mu_);
+  void release_locked(Request& req) ORWL_REQUIRES(mu_);
+  /// Grant the head run, announce new grants.
+  void advance_locked() ORWL_REQUIRES(mu_);
+  /// Protocol assert: the grant sink must not call back in.
+  void check_not_reentered() const;
 
-  mutable std::mutex mu_;
-  std::deque<Request*> queue_;
-  Ticket next_ticket_ = 0;
+  mutable sync::Mutex mu_;
+  std::deque<Request*> queue_ ORWL_GUARDED_BY(mu_);
+  Ticket next_ticket_ ORWL_GUARDED_BY(mu_) = 0;
   GrantSink* sink_;
 };
 

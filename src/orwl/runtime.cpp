@@ -97,10 +97,12 @@ void Runtime::set_epoch_hook(int epoch_length, EpochHook hook) {
   epoch_hook_ = std::move(hook);
 }
 
-void Runtime::epoch_fire(std::unique_lock<std::mutex>& lock) {
+void Runtime::epoch_fire(sync::UniqueLock& lock) {
   // Everyone expected has arrived: parked threads cannot advance and no
   // task can retire, so the hook owns the run. Release the lock while it
   // executes — the hook calls back into rebind_* and the Instrument.
+  // order: relaxed — the generation is only ever bumped under esync_mu_,
+  // which the caller holds.
   const int epoch =
       static_cast<int>(esync_generation_.load(std::memory_order_relaxed)) + 1;
   const int round = esync_round_;
@@ -113,8 +115,9 @@ void Runtime::epoch_fire(std::unique_lock<std::mutex>& lock) {
   }
   lock.lock();
   esync_arrived_ = 0;
-  // Release the parked arrivals: the bump publishes the hook's effects
-  // (acquire-load in the waiter) and the notify wakes the futex waiters.
+  // order: release — the bump releases the parked arrivals: it publishes
+  // the hook's effects (acquire-load in the waiter) and the notify wakes
+  // the futex waiters.
   esync_generation_.fetch_add(1, std::memory_order_release);
   sync::notify_all(esync_generation_);
   if (hook_error) std::rethrow_exception(hook_error);
@@ -125,7 +128,7 @@ void Runtime::epoch_arrive(TaskId task, int round) {
   ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
   std::uint32_t gen;
   {
-    std::unique_lock lock(esync_mu_);
+    sync::UniqueLock lock(esync_mu_);
     if (esync_retired_[static_cast<std::size_t>(task)]) return;
     esync_round_ = round;
     ++esync_arrived_;
@@ -133,8 +136,9 @@ void Runtime::epoch_arrive(TaskId task, int round) {
       epoch_fire(lock);
       return;
     }
-    // Read the generation before dropping the lock: a boundary that fires
-    // in between bumps it, so the park below returns immediately.
+    // order: relaxed — read the generation before dropping the lock (which
+    // orders it): a boundary that fires in between bumps it, so the park
+    // below returns immediately.
     gen = esync_generation_.load(std::memory_order_relaxed);
   }
   (void)sync::wait_while_equal(esync_generation_, gen, opts_.wait);
@@ -143,7 +147,7 @@ void Runtime::epoch_arrive(TaskId task, int round) {
 void Runtime::epoch_retire(TaskId task) {
   if (epoch_length_ <= 0) return;
   ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
-  std::unique_lock lock(esync_mu_);
+  sync::UniqueLock lock(esync_mu_);
   if (esync_retired_[static_cast<std::size_t>(task)]) return;
   esync_retired_[static_cast<std::size_t>(task)] = 1;
   --esync_members_;
@@ -155,7 +159,7 @@ void Runtime::epoch_retire(TaskId task) {
 
 bool Runtime::rebind_compute_thread(TaskId task, const topo::Bitmap& cpuset) {
   ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
-  std::lock_guard lock(esync_mu_);
+  sync::LockGuard lock(esync_mu_);
   const auto& h = compute_handles_[static_cast<std::size_t>(task)];
   return h && topo::bind_thread(*h, cpuset);
 }
@@ -163,7 +167,7 @@ bool Runtime::rebind_compute_thread(TaskId task, const topo::Bitmap& cpuset) {
 bool Runtime::rebind_control_thread(TaskId task, const topo::Bitmap& cpuset) {
   ORWL_CHECK_MSG(task >= 0 && task < num_tasks(), "unknown task " << task);
   if (opts_.control != RuntimeOptions::ControlMode::PerTask) return false;
-  std::lock_guard lock(esync_mu_);
+  sync::LockGuard lock(esync_mu_);
   const auto& h = control_handles_[static_cast<std::size_t>(task)];
   return h && topo::bind_thread(*h, cpuset);
 }
@@ -305,7 +309,7 @@ void Runtime::control_loop(TaskId task) {
   TaskRec& rec = tasks_[static_cast<std::size_t>(task)];
   set_current_thread_name("ctl:" + rec.name);
   {
-    std::lock_guard lock(esync_mu_);
+    sync::LockGuard lock(esync_mu_);
     control_handles_[static_cast<std::size_t>(task)] =
         topo::current_thread_handle();
   }
@@ -323,12 +327,19 @@ void Runtime::run() {
   ran_ = true;
 
   // Epoch barrier population: every task participates until it retires.
-  esync_members_ = num_tasks();
-  esync_arrived_ = 0;
-  esync_generation_.store(0, std::memory_order_relaxed);
-  esync_retired_.assign(tasks_.size(), 0);
-  compute_handles_.assign(tasks_.size(), std::nullopt);
-  control_handles_.assign(tasks_.size(), std::nullopt);
+  // (Still single-threaded here, but the barrier fields are guarded by
+  // esync_mu_, so take it — uncontended — to keep the annotation honest.)
+  {
+    sync::LockGuard lock(esync_mu_);
+    esync_members_ = num_tasks();
+    esync_arrived_ = 0;
+    // order: relaxed — no thread exists yet; thread creation below is the
+    // synchronization point that publishes this store.
+    esync_generation_.store(0, std::memory_order_relaxed);
+    esync_retired_.assign(tasks_.size(), 0);
+    compute_handles_.assign(tasks_.size(), std::nullopt);
+    control_handles_.assign(tasks_.size(), std::nullopt);
+  }
 
   // Canonical priming: initial requests in registration order. This global
   // deterministic order is what makes iterative ORWL programs live.
@@ -347,7 +358,7 @@ void Runtime::run() {
       control.emplace_back([this, i] { shared_control_loop(i); });
   }
 
-  std::mutex err_mu;
+  sync::Mutex err_mu;
   std::exception_ptr first_error;
 
   std::vector<std::thread> compute;
@@ -357,14 +368,14 @@ void Runtime::run() {
       TaskRec& rec = tasks_[static_cast<std::size_t>(t)];
       set_current_thread_name(rec.name);
       {
-        std::lock_guard lock(esync_mu_);
+        sync::LockGuard lock(esync_mu_);
         compute_handles_[static_cast<std::size_t>(t)] =
             topo::current_thread_handle();
       }
       if (rec.compute_bind) topo::bind_current_thread(*rec.compute_bind);
       TaskContext ctx(*this, t);
       const auto record_error = [&] {
-        std::lock_guard lock(err_mu);
+        sync::LockGuard lock(err_mu);
         if (!first_error) first_error = std::current_exception();
       };
       try {

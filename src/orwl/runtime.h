@@ -26,7 +26,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -41,6 +40,8 @@
 #include "orwl/instrument.h"
 #include "orwl/location.h"
 #include "orwl/task.h"
+#include "support/thread_annotations.h"
+#include "sync/mutex.h"
 #include "sync/wait_strategy.h"
 #include "topo/binding.h"
 #include "topo/bitmap.h"
@@ -224,6 +225,8 @@ class Runtime : private GrantSink {
 
   /// GrantSink: called by a location FIFO (its lock held) for every newly
   /// granted request — records stats and routes delivery per ControlMode.
+  // sink-contract: no-queue-reentry — only posts to event queues / notifies
+  // the waiter; never calls back into the announcing FifoQueue.
   void on_grant(Request& req) override;
   void control_loop(TaskId task);
   void shared_control_loop(int pool_index);
@@ -231,8 +234,10 @@ class Runtime : private GrantSink {
   /// the same request (one notify per handle per pass).
   static void deliver_batch(const std::vector<Event>& batch);
   /// Complete the current epoch boundary: run the hook (lock released
-  /// while it executes), then wake the parked tasks. Caller holds `lock`.
-  void epoch_fire(std::unique_lock<std::mutex>& lock);
+  /// while it executes), then wake the parked tasks. Caller holds `lock`
+  /// on esync_mu_; the analysis cannot follow a capability through a lock
+  /// object passed by reference, hence the opt-out.
+  void epoch_fire(sync::UniqueLock& lock) ORWL_NO_THREAD_SAFETY_ANALYSIS;
 
   RuntimeOptions opts_;
   mem::Arena arena_;
@@ -253,16 +258,21 @@ class Runtime : private GrantSink {
   // compute thread exists), so the hook always sees them.
   int epoch_length_ = 0;
   EpochHook epoch_hook_;
-  std::mutex esync_mu_;
-  int esync_members_ = 0;     ///< tasks still participating
-  int esync_arrived_ = 0;     ///< arrivals at the current boundary
+  sync::Mutex esync_mu_;
+  /// Tasks still participating.
+  int esync_members_ ORWL_GUARDED_BY(esync_mu_) = 0;
+  /// Arrivals at the current boundary.
+  int esync_arrived_ ORWL_GUARDED_BY(esync_mu_) = 0;
   /// Completed boundaries; bumped (release) when a boundary fires and
   /// notified so parked arrivals resume.
   std::atomic<std::uint32_t> esync_generation_{0};
-  int esync_round_ = 0;       ///< round of the boundary being formed
-  std::vector<char> esync_retired_;
-  std::vector<std::optional<topo::ThreadHandle>> compute_handles_;
-  std::vector<std::optional<topo::ThreadHandle>> control_handles_;
+  /// Round of the boundary being formed.
+  int esync_round_ ORWL_GUARDED_BY(esync_mu_) = 0;
+  std::vector<char> esync_retired_ ORWL_GUARDED_BY(esync_mu_);
+  std::vector<std::optional<topo::ThreadHandle>> compute_handles_
+      ORWL_GUARDED_BY(esync_mu_);
+  std::vector<std::optional<topo::ThreadHandle>> control_handles_
+      ORWL_GUARDED_BY(esync_mu_);
 };
 
 }  // namespace orwl

@@ -1,8 +1,16 @@
 #pragma once
 // Contract-checking macros used across the library.
 //
-// ORWL_CHECK       - always-on invariant check; throws orwl::ContractError.
+// ORWL_CHECK       - always-on precondition check; throws orwl::ContractError.
 // ORWL_CHECK_MSG   - same, with a formatted explanation.
+// ORWL_ASSERT      - protocol-invariant check: stays enabled in
+//                    RelWithDebInfo/Release builds (unlike assert(), which
+//                    NDEBUG silences there) so ORWL protocol violations —
+//                    sink re-entry, corrupted request states — surface in
+//                    the builds benches and CI actually run. Compiled out
+//                    only with -DORWL_DISABLE_PROTOCOL_ASSERTS
+//                    (cmake -DORWL_PROTOCOL_ASSERTS=OFF).
+// ORWL_ASSERT_MSG  - ORWL_ASSERT with a formatted explanation.
 // ORWL_DCHECK      - debug-only check (compiled out in NDEBUG builds).
 //
 // Exceptions (rather than abort) are used so that tests can exercise
@@ -52,4 +60,18 @@ namespace detail {
 #define ORWL_DCHECK(expr) ((void)0)
 #else
 #define ORWL_DCHECK(expr) ORWL_CHECK(expr)
+#endif
+
+// Protocol-invariant asserts: on by default in EVERY build type, gated by
+// their own flag instead of NDEBUG. ORWL_PROTOCOL_ASSERTS_ENABLED is
+// usable in #if for code that exists only to feed these checks (e.g. the
+// grant-sink re-entrancy marker).
+#ifdef ORWL_DISABLE_PROTOCOL_ASSERTS
+#define ORWL_PROTOCOL_ASSERTS_ENABLED 0
+#define ORWL_ASSERT(expr) ((void)0)
+#define ORWL_ASSERT_MSG(expr, msg) ((void)0)
+#else
+#define ORWL_PROTOCOL_ASSERTS_ENABLED 1
+#define ORWL_ASSERT(expr) ORWL_CHECK(expr)
+#define ORWL_ASSERT_MSG(expr, msg) ORWL_CHECK_MSG(expr, msg)
 #endif

@@ -2,7 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "sync/mutex.h"
 
 namespace orwl::log {
 
@@ -41,10 +42,11 @@ Level parse_level(std::string_view name) noexcept {
 namespace detail {
 
 void emit(Level lvl, const std::string& message) {
-  static std::mutex mu;
+  // order: n/a — the annotated sync::Mutex serializes whole lines.
+  static sync::Mutex mu;
   const int idx = static_cast<int>(lvl);
   if (idx < 0 || idx > 4) return;
-  std::lock_guard lock(mu);
+  sync::LockGuard lock(mu);
   std::fprintf(stderr, "[orwl %s] %s\n", kNames[idx], message.c_str());
 }
 

@@ -1,0 +1,56 @@
+#pragma once
+// Clang Thread Safety Analysis macros (-Wthread-safety).
+//
+// These wrap the clang `capability` attribute family so lock-protected
+// state can be annotated once and checked statically on every build with
+// clang (tools/check_thread_safety.py, the gating thread-safety CI leg).
+// Under gcc — which has no thread-safety analysis — every macro expands to
+// nothing, so annotations are free for non-clang builds.
+//
+// Vocabulary (see docs/correctness.md for the full guide):
+//   ORWL_CAPABILITY("mutex")  - this type is a lockable capability
+//   ORWL_SCOPED_CAPABILITY    - RAII type that acquires/releases in
+//                               ctor/dtor (sync::LockGuard)
+//   ORWL_GUARDED_BY(mu)       - field may only be touched with mu held
+//   ORWL_PT_GUARDED_BY(mu)    - pointee may only be touched with mu held
+//   ORWL_REQUIRES(mu)         - caller must hold mu (the _locked helpers)
+//   ORWL_ACQUIRE(mu)/ORWL_RELEASE(mu) - function takes / gives up mu
+//   ORWL_TRY_ACQUIRE(ok, mu)  - conditional acquire, true result = held
+//   ORWL_EXCLUDES(mu)         - caller must NOT hold mu (non-reentrant)
+//   ORWL_ASSERT_CAPABILITY(mu)- runtime assertion that mu is held
+//   ORWL_RETURN_CAPABILITY(mu)- function returns a reference to mu
+//   ORWL_NO_THREAD_SAFETY_ANALYSIS - opt a function out (justify why!)
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ORWL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ORWL_THREAD_ANNOTATION
+#define ORWL_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define ORWL_CAPABILITY(x) ORWL_THREAD_ANNOTATION(capability(x))
+#define ORWL_SCOPED_CAPABILITY ORWL_THREAD_ANNOTATION(scoped_lockable)
+#define ORWL_GUARDED_BY(x) ORWL_THREAD_ANNOTATION(guarded_by(x))
+#define ORWL_PT_GUARDED_BY(x) ORWL_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ORWL_REQUIRES(...) \
+  ORWL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ORWL_REQUIRES_SHARED(...) \
+  ORWL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ORWL_ACQUIRE(...) \
+  ORWL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ORWL_ACQUIRE_SHARED(...) \
+  ORWL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define ORWL_RELEASE(...) \
+  ORWL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ORWL_RELEASE_SHARED(...) \
+  ORWL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define ORWL_TRY_ACQUIRE(...) \
+  ORWL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define ORWL_EXCLUDES(...) ORWL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ORWL_ASSERT_CAPABILITY(x) \
+  ORWL_THREAD_ANNOTATION(assert_capability(x))
+#define ORWL_RETURN_CAPABILITY(x) ORWL_THREAD_ANNOTATION(lock_returned(x))
+#define ORWL_NO_THREAD_SAFETY_ANALYSIS \
+  ORWL_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,77 @@
+#pragma once
+// Annotated mutex wrappers: the thread-safety-analysis seam of the repo.
+//
+// sync::Mutex is a std::mutex carrying the clang `capability` attribute,
+// and sync::LockGuard / sync::UniqueLock are the matching scoped
+// capabilities, so fields declared ORWL_GUARDED_BY(mu_) are statically
+// checked (-Wthread-safety) at every touch point. Use these instead of
+// std::mutex / std::lock_guard anywhere in the library; plain std::mutex
+// is invisible to the analysis.
+//
+// UniqueLock supports mid-scope unlock()/lock() (the epoch-hook pattern)
+// and works as the lock argument of std::condition_variable_any::wait.
+
+#include <mutex>
+
+#include "support/thread_annotations.h"
+
+namespace orwl::sync {
+
+class ORWL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ORWL_ACQUIRE() { mu_.lock(); }
+  void unlock() ORWL_RELEASE() { mu_.unlock(); }
+  bool try_lock() ORWL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard with the scoped-capability annotation.
+class ORWL_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) ORWL_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() ORWL_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock subset: scoped, but may be dropped and re-taken
+/// mid-scope (epoch hooks run with the barrier mutex released) and is
+/// accepted by std::condition_variable_any::wait.
+class ORWL_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ORWL_ACQUIRE(mu) : mu_(&mu), owned_(true) {
+    mu_->lock();
+  }
+  ~UniqueLock() ORWL_RELEASE() {
+    if (owned_) mu_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ORWL_ACQUIRE() {
+    mu_->lock();
+    owned_ = true;
+  }
+  void unlock() ORWL_RELEASE() {
+    mu_->unlock();
+    owned_ = false;
+  }
+  [[nodiscard]] bool owns_lock() const { return owned_; }
+
+ private:
+  Mutex* mu_;
+  bool owned_;
+};
+
+}  // namespace orwl::sync

@@ -34,14 +34,18 @@ class ShardedCounter {
   ShardedCounter& operator=(const ShardedCounter&) = delete;
 
   void add(std::uint64_t n = 1) noexcept {
-    shards_[static_cast<std::size_t>(current_thread_index()) &
-            (kShards - 1)]
-        .value.fetch_add(n, std::memory_order_relaxed);
+    auto& shard = shards_[static_cast<std::size_t>(current_thread_index()) &
+                          (kShards - 1)];
+    // order: relaxed — counters carry no payload to publish; readers only
+    // need a value that is exact after writers quiesced (see header note).
+    shard.value.fetch_add(n, std::memory_order_relaxed);
   }
 
   /// Sum of all shards (the "flush": exact after writers quiesced).
   [[nodiscard]] std::uint64_t read() const noexcept {
     std::uint64_t total = 0;
+    // order: relaxed — a concurrent read is a documented lower bound; the
+    // exact-sum case is ordered by the joins/barrier that quiesce writers.
     for (const Shard& s : shards_)
       total += s.value.load(std::memory_order_relaxed);
     return total;

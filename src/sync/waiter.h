@@ -32,6 +32,8 @@ inline void cpu_relax() noexcept {
 #elif defined(__aarch64__)
   asm volatile("yield" ::: "memory");
 #else
+  // order: seq_cst — compiler-only fence standing in for a pause
+  // instruction on unknown ISAs; no hardware ordering implied.
   std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
 }
@@ -41,6 +43,9 @@ inline void cpu_relax() noexcept {
 template <class T>
 [[nodiscard]] T wait_while_equal(const std::atomic<T>& word, T old,
                                  const WaitStrategy& ws) noexcept {
+  // order: acquire — every load here pairs with the waker's release store
+  // so the writes that happened-before it are visible on return (the
+  // contract above).
   T v = word.load(std::memory_order_acquire);
   if (v != old) return v;
 
@@ -58,12 +63,14 @@ template <class T>
   switch (ws.mode) {
     case WaitMode::Spin:
       for (int round = 0;; ++round) {
+        // order: acquire — same pairing as the first load above.
         v = word.load(std::memory_order_acquire);
         if (v != old) return v;
         spin_round(round);
       }
     case WaitMode::SpinThenPark:
       for (int round = 0; round < ws.spins; ++round) {
+        // order: acquire — same pairing as the first load above.
         v = word.load(std::memory_order_acquire);
         if (v != old) return v;
         spin_round(round);
@@ -71,8 +78,13 @@ template <class T>
       [[fallthrough]];
     case WaitMode::Block:
       for (;;) {
+        // order: acquire — same pairing as the first load above; the futex
+        // wait re-checks with acquire so a wake cannot be consumed without
+        // the release-store's effects.
         v = word.load(std::memory_order_acquire);
         if (v != old) return v;
+        // order: acquire — the wait's own re-check load keeps the same
+        // pairing as the loop load above.
         word.wait(old, std::memory_order_acquire);
       }
   }

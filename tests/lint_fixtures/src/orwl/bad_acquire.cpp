@@ -1,0 +1,14 @@
+// Fixture: a naked Handle::acquire() outside the Section RAII layer and
+// without an allow-naked-acquire suppression. Must trip [naked-acquire].
+
+#include "orwl/handle.h"
+
+namespace orwl::lintfix {
+
+void leak_a_grant(Handle& h) {
+  h.acquire();
+  // ... no RAII guard, no release on the error path ...
+  h.release();
+}
+
+}  // namespace orwl::lintfix

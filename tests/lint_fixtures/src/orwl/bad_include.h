@@ -1,0 +1,10 @@
+// Fixture: a header that (1) does not open with #pragma once, (2) climbs
+// out of the tree with "..", (3) uses a non-module-rooted quoted include.
+// Must trip [include-hygiene] (three times).
+
+#include "../support/assert.h"
+#include "queue.h"
+
+namespace orwl::lintfix {
+inline int three_hygiene_violations() { return 3; }
+}  // namespace orwl::lintfix

@@ -1,0 +1,12 @@
+// Fixture: a memory_order use with no "// order:" justification within the
+// comment window. Must trip [order-comment].
+
+#include <atomic>
+
+namespace orwl::lintfix {
+
+int unjustified_load(const std::atomic<int>& a) {
+  return a.load(std::memory_order_acquire);
+}
+
+}  // namespace orwl::lintfix

@@ -1,0 +1,14 @@
+#pragma once
+// Fixture: an on_grant override with no sink-contract comment anywhere in
+// the preceding window. Must trip [sink-contract].
+
+#include "orwl/queue.h"
+
+namespace orwl::lintfix {
+
+class SilentSink final : public GrantSink {
+ public:
+  void on_grant(Request& req) override { (void)req; }
+};
+
+}  // namespace orwl::lintfix

@@ -1,0 +1,194 @@
+#include "model/vthread.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace orwl::model {
+
+std::string format_trace(const std::vector<int>& trace) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    os << (i ? " " : "") << 't' << trace[i];
+  return os.str();
+}
+
+namespace {
+/// Thrown through a virtual-thread body to unwind it at teardown; a
+/// dedicated type so it can never be confused with an exception from the
+/// code under test.
+struct TeardownSignal {};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Choosers
+// ---------------------------------------------------------------------------
+
+int SeededChooser::pick(int n) {
+  // SplitMix64 step; stable across platforms and standard libraries.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<int>(z % static_cast<std::uint64_t>(n));
+}
+
+int DfsChooser::pick(int n) {
+  if (depth_ == prefix_.size()) {
+    // New decision point: take branch 0, remember the width for the
+    // odometer advance.
+    prefix_.push_back(0);
+    width_.push_back(n);
+  }
+  const int choice = prefix_[depth_];
+  ++depth_;
+  return choice < n ? choice : n - 1;  // defensive; widths are replayed
+}
+
+bool DfsChooser::next_schedule() {
+  ++schedules_;
+  depth_ = 0;
+  // Odometer with carry: bump the deepest decision that still has an
+  // unexplored sibling, forget everything deeper.
+  while (!prefix_.empty()) {
+    if (prefix_.back() + 1 < width_.back()) {
+      ++prefix_.back();
+      return true;
+    }
+    prefix_.pop_back();
+    width_.pop_back();
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+void ThreadCtx::yield() {
+  if (!sched_.yield_to_scheduler(id_, Scheduler::State::Ready, nullptr))
+    throw TeardownSignal{};
+}
+
+void ThreadCtx::wait_until(std::function<bool()> pred) {
+  if (pred()) return;  // already true: not a blocking point
+  if (!sched_.yield_to_scheduler(id_, Scheduler::State::Blocked,
+                                 std::move(pred)))
+    throw TeardownSignal{};
+}
+
+void Scheduler::spawn(std::string name,
+                      std::function<void(ThreadCtx&)> body) {
+  if (started_) throw std::logic_error("spawn after run()");
+  auto vt = std::make_unique<VThread>();
+  vt->name = std::move(name);
+  vt->body = std::move(body);
+  threads_.push_back(std::move(vt));
+}
+
+bool Scheduler::yield_to_scheduler(int id, State new_state,
+                                   std::function<bool()> pred) {
+  std::unique_lock lock(mu_);
+  VThread& vt = *threads_[static_cast<std::size_t>(id)];
+  vt.state = new_state;
+  vt.pred = std::move(pred);
+  vt.go = false;
+  running_ = -1;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return vt.go || teardown_; });
+  if (teardown_) return false;
+  vt.state = State::Running;
+  return true;
+}
+
+void Scheduler::thread_main(int id) {
+  VThread& vt = *threads_[static_cast<std::size_t>(id)];
+  {
+    // Wait for the first token before touching any shared state.
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return vt.go || teardown_; });
+    if (teardown_) return;
+    vt.state = State::Running;
+  }
+  ThreadCtx ctx(*this, id);
+  try {
+    vt.body(ctx);
+  } catch (const TeardownSignal&) {
+    // teardown unwind — fall through to Done
+  } catch (const std::exception& e) {
+    std::unique_lock lock(mu_);
+    if (error_.empty()) error_ = vt.name + ": " + e.what();
+  }
+  std::unique_lock lock(mu_);
+  vt.state = State::Done;
+  vt.go = false;
+  running_ = -1;
+  cv_.notify_all();
+}
+
+Scheduler::Result Scheduler::run(Chooser& chooser) {
+  if (started_) throw std::logic_error("run() may only be called once");
+  started_ = true;
+  for (std::size_t i = 0; i < threads_.size(); ++i)
+    threads_[i]->os_thread =
+        std::thread([this, i] { thread_main(static_cast<int>(i)); });
+
+  Result result = Result::Completed;
+  {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      // Collect runnable threads: Ready, plus Blocked whose predicate now
+      // holds. Predicates run here, with no virtual thread executing, so
+      // they can safely read protocol state.
+      std::vector<int> runnable;
+      bool all_done = true;
+      for (std::size_t i = 0; i < threads_.size(); ++i) {
+        VThread& vt = *threads_[i];
+        if (vt.state == State::Done) continue;
+        all_done = false;
+        if (vt.state == State::Ready ||
+            (vt.state == State::Blocked && vt.pred && vt.pred())) {
+          runnable.push_back(static_cast<int>(i));
+        }
+      }
+      if (all_done) break;
+      if (!error_.empty()) break;
+      if (runnable.empty()) {
+        // Every live thread is blocked on a false predicate. Because
+        // predicates were just re-evaluated, this cannot be a lost
+        // wakeup — it is a genuine protocol deadlock.
+        result = Result::Deadlock;
+        for (const auto& vt : threads_)
+          if (vt->state == State::Blocked) deadlocked_.push_back(vt->name);
+        break;
+      }
+      const int pick = chooser.pick(static_cast<int>(runnable.size()));
+      const int id = runnable[static_cast<std::size_t>(pick)];
+      trace_.push_back(id);
+      VThread& vt = *threads_[static_cast<std::size_t>(id)];
+      vt.pred = nullptr;
+      vt.go = true;
+      running_ = id;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return running_ == -1; });
+    }
+    teardown_ = true;
+    cv_.notify_all();
+  }
+  for (auto& vt : threads_)
+    if (vt->os_thread.joinable()) vt->os_thread.join();
+  return result;
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::unique_lock lock(mu_);
+    teardown_ = true;
+    cv_.notify_all();
+  }
+  for (auto& vt : threads_)
+    if (vt->os_thread.joinable()) vt->os_thread.join();
+}
+
+}  // namespace orwl::model

@@ -1,0 +1,178 @@
+#pragma once
+// Deterministic schedule-exploration scheduler for protocol model checking.
+//
+// A Scheduler runs N "virtual threads" (real std::threads, but cooperative:
+// exactly ONE ever executes at a time, and control passes only at explicit
+// yield points). Between yield points a virtual thread runs real library
+// code — the model tests drive the real FifoQueue / Request state machine —
+// so the interleavings explored are interleavings of the actual protocol
+// steps, serialized by the scheduler's token handoff (which also gives
+// every step a happens-before edge: no data races, TSan-clean).
+//
+// Yield points:
+//   ctx.yield()            — unconditional schedule point
+//   ctx.wait_until(pred)   — block until pred() is true. The scheduler
+//                            re-evaluates predicates of blocked threads at
+//                            every scheduling step, which is the model-level
+//                            statement of "no lost wakeup": a thread whose
+//                            condition has become true is always runnable.
+//
+// Schedules are chosen by a Chooser:
+//   SeededChooser(seed)    — reproducible pseudo-random schedules
+//   DfsChooser             — bounded-exhaustive DFS over ALL schedules
+//                            (feasible for 2-3 threads and short scripts)
+//
+// Outcomes:
+//   Result::Completed      — every thread ran to the end of its script
+//   Result::Deadlock       — all live threads blocked with false
+//                            predicates; the trace names the stuck threads
+//
+// The scheduler itself uses plain std::mutex/condition_variable (not the
+// library's sync:: layer) so a bug in the code under test cannot take the
+// test harness down with it.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace orwl::model {
+
+class Scheduler;
+
+/// Render a schedule trace as "t0 t2 t1 ..." for assertion messages.
+std::string format_trace(const std::vector<int>& trace);
+
+/// Handed to every virtual-thread body; all yields go through it.
+class ThreadCtx {
+ public:
+  /// Unconditional schedule point: another runnable thread may run.
+  void yield();
+
+  /// Block until `pred()` holds. pred is evaluated ONLY by the scheduler
+  /// (between steps, with no virtual thread running), so it may read any
+  /// state the protocol steps mutate.
+  void wait_until(std::function<bool()> pred);
+
+  [[nodiscard]] int id() const { return id_; }
+
+ private:
+  friend class Scheduler;
+  ThreadCtx(Scheduler& sched, int id) : sched_(sched), id_(id) {}
+  Scheduler& sched_;
+  int id_;
+};
+
+/// Picks which runnable virtual thread performs the next step.
+class Chooser {
+ public:
+  virtual ~Chooser() = default;
+  /// Pick an index in [0, n); n >= 1.
+  virtual int pick(int n) = 0;
+};
+
+/// Reproducible pseudo-random schedules (SplitMix64, seed-stable across
+/// platforms — no std::mt19937 distribution skew).
+class SeededChooser final : public Chooser {
+ public:
+  explicit SeededChooser(std::uint64_t seed) : state_(seed) {}
+  int pick(int n) override;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Bounded-exhaustive depth-first exploration: drive repeated runs with
+///   DfsChooser dfs;
+///   do { ... run with dfs ... } while (dfs.next_schedule());
+/// Each run follows the recorded choice prefix, then takes branch 0 at new
+/// decision points; next_schedule() advances the last branch with siblings
+/// left (odometer with carry), truncating deeper choices.
+class DfsChooser final : public Chooser {
+ public:
+  int pick(int n) override;
+
+  /// Advance to the next unexplored schedule. False when the tree is
+  /// exhausted. Must be called between runs (not mid-run).
+  bool next_schedule();
+
+  /// Schedules fully explored so far.
+  [[nodiscard]] std::uint64_t schedules() const { return schedules_; }
+
+ private:
+  std::vector<int> prefix_;  ///< choice taken at each decision depth
+  std::vector<int> width_;   ///< branching factor observed there
+  std::size_t depth_ = 0;    ///< current depth within this run
+  std::uint64_t schedules_ = 0;
+};
+
+class Scheduler {
+ public:
+  enum class Result {
+    Completed,  ///< all threads finished their scripts
+    Deadlock,   ///< all live threads blocked, no predicate true
+  };
+
+  Scheduler() = default;
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Register a virtual thread before run(). The body runs real code and
+  /// must yield through the ctx at every point where another thread's step
+  /// should be able to interleave.
+  void spawn(std::string name, std::function<void(ThreadCtx&)> body);
+
+  /// Run all spawned threads to completion (or deadlock) under `chooser`.
+  /// May be called once per Scheduler instance.
+  Result run(Chooser& chooser);
+
+  /// Names of threads still blocked when run() returned Deadlock.
+  [[nodiscard]] const std::vector<std::string>& deadlocked() const {
+    return deadlocked_;
+  }
+
+  /// The schedule actually executed: the virtual-thread id of every step,
+  /// in order — printable as a repro trace.
+  [[nodiscard]] const std::vector<int>& trace() const { return trace_; }
+
+  /// Exception text from a virtual thread body, empty when none. A
+  /// throwing body fails the run; the remaining threads are unwound.
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  friend class ThreadCtx;
+
+  enum class State { Ready, Running, Blocked, Done };
+
+  struct VThread {
+    std::string name;
+    std::function<void(ThreadCtx&)> body;
+    State state = State::Ready;
+    std::function<bool()> pred;  ///< valid while Blocked
+    std::thread os_thread;
+    bool go = false;  ///< token: this vthread may run (guarded by mu_)
+  };
+
+  /// Body side: give the token back and wait for it again. Returns false
+  /// when the scheduler is tearing down (body should unwind).
+  bool yield_to_scheduler(int id, State new_state,
+                          std::function<bool()> pred);
+  void thread_main(int id);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<VThread>> threads_;
+  bool started_ = false;
+  bool teardown_ = false;
+  int running_ = -1;  ///< id of the vthread holding the token, -1 = none
+  std::vector<std::string> deadlocked_;
+  std::vector<int> trace_;
+  std::string error_;
+};
+
+}  // namespace orwl::model

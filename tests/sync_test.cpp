@@ -1,8 +1,9 @@
 // Tests for the sync:: support layer (waiter, wait strategies, sharded
 // counter) and for the FifoQueue on top of it: a randomized concurrent
 // linearizability check replaying the observed ticket order through a
-// single-threaded model run, and the debug re-entrancy assert on the
-// grant sink contract.
+// single-threaded model run, the always-on re-entrancy assert on the
+// grant sink contract, and a lost-wakeup regression driven by the
+// deterministic model scheduler (tests/model/).
 
 #include <gtest/gtest.h>
 
@@ -16,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "model/vthread.h"
 #include "orwl/queue.h"
 #include "support/assert.h"
 #include "support/rng.h"
@@ -363,12 +365,13 @@ TEST(QueueLinearizability, ManySeeds) {
 }
 
 // ---------------------------------------------------------------------------
-// Grant sink re-entrancy assert (debug builds)
+// Grant sink re-entrancy assert (always-on protocol assert)
 // ---------------------------------------------------------------------------
 
 TEST(QueueReentrancy, SinkReenteringQueueAsserts) {
-#ifdef NDEBUG
-  GTEST_SKIP() << "re-entrancy assert is debug-only (ORWL_DCHECK-style)";
+#if !ORWL_PROTOCOL_ASSERTS_ENABLED
+  GTEST_SKIP() << "protocol asserts compiled out "
+                  "(ORWL_DISABLE_PROTOCOL_ASSERTS)";
 #else
   FifoQueue* queue_ptr = nullptr;
   Request extra;
@@ -390,6 +393,105 @@ TEST(QueueReentrancy, SinkReenteringQueueAsserts) {
   queue2.insert(w2);
   EXPECT_EQ(w2.state.load(), RequestState::Granted);
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// Lost-wakeup regression: release lands between the waiter's load and park
+// ---------------------------------------------------------------------------
+
+/// Build the 2-request race on a real FifoQueue and run one schedule:
+/// "holder" owns the location, "waiter" is queued behind it. The waiter
+/// performs Handle::acquire's two phases explicitly — load the state, then
+/// park — with a schedule point between them, so the holder's release (and
+/// the grant announcement) can land exactly inside that window. A lost
+/// wakeup turns such a schedule into a deadlock.
+bool run_lost_wakeup_schedule(model::Chooser& chooser,
+                              std::vector<int>* trace_out,
+                              bool* hit_window) {
+  GrantFn sink([](Request& req) {
+    // Delivery as the runtime does it: wake whoever parked on the state.
+    sync::notify_all(req.state);
+  });
+  FifoQueue queue(&sink);
+  Request holder_req;
+  Request waiter_req;
+  holder_req.mode = AccessMode::Write;
+  waiter_req.mode = AccessMode::Write;
+  queue.insert(holder_req);  // granted immediately
+  queue.insert(waiter_req);  // queued behind the holder
+
+  bool in_window = false;
+  bool released_in_window = false;
+  model::Scheduler sched;
+  sched.spawn("waiter", [&](model::ThreadCtx& ctx) {
+    // order: acquire — Handle::acquire's fast-path load.
+    if (waiter_req.state.load(std::memory_order_acquire) !=
+        RequestState::Granted) {
+      in_window = true;
+      ctx.yield();  // the load/park window: the release may land here
+      in_window = false;
+      ctx.wait_until([&] {
+        // order: acquire — grant consumption, pairs with the queue's
+        // release store.
+        return waiter_req.state.load(std::memory_order_acquire) ==
+               RequestState::Granted;
+      });
+    }
+    queue.release(waiter_req);
+  });
+  sched.spawn("holder", [&](model::ThreadCtx& ctx) {
+    ctx.yield();
+    queue.release(holder_req);
+    if (in_window) released_in_window = true;
+  });
+  const auto res = sched.run(chooser);
+  if (trace_out) *trace_out = sched.trace();
+  if (hit_window && released_in_window) *hit_window = true;
+  return res == model::Scheduler::Result::Completed &&
+         sched.error().empty();
+}
+
+TEST(LostWakeupRegression, ReleaseInsideLoadParkWindowExhaustive) {
+  // Every schedule of the race must complete — including the ones where
+  // the release fires inside the waiter's load/park window, which must be
+  // reached at least once or the regression is not actually exercised.
+  model::DfsChooser dfs;
+  bool hit_window = false;
+  do {
+    std::vector<int> trace;
+    ASSERT_TRUE(run_lost_wakeup_schedule(dfs, &trace, &hit_window))
+        << "lost wakeup (deadlock) under schedule "
+        << model::format_trace(trace);
+  } while (dfs.next_schedule());
+  EXPECT_GT(dfs.schedules(), 1u);
+  EXPECT_TRUE(hit_window)
+      << "no explored schedule released inside the load/park window";
+}
+
+TEST(LostWakeupRegression, ReleaseInsideLoadParkWindowSeeded) {
+  for (const std::uint64_t seed : {3u, 17u, 42u, 1009u, 65537u}) {
+    model::SeededChooser chooser(seed);
+    std::vector<int> trace;
+    ASSERT_TRUE(run_lost_wakeup_schedule(chooser, &trace, nullptr))
+        << "lost wakeup (deadlock) under seed " << seed << ", schedule "
+        << model::format_trace(trace);
+  }
+}
+
+TEST(LostWakeupRegression, FutexRaceStress) {
+  // Real-thread companion: the notifier fires with no delay, so across
+  // iterations the waiter is caught at every point of its load -> park
+  // path, including between the futex value check and the park syscall.
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::atomic<std::uint32_t> word{0};
+    std::thread notifier([&] {
+      word.store(1, std::memory_order_release);
+      sync::notify_all(word);
+    });
+    EXPECT_EQ(sync::wait_while_equal(word, 0u, sync::WaitStrategy::block()),
+              1u);
+    notifier.join();
+  }
 }
 
 }  // namespace

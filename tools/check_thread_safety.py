@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Run Clang Thread Safety Analysis over the whole tree as a pass/fail check.
+
+Compiles every .cpp under src/ (and the model checker under tests/model/)
+with `clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety`, so any
+violation of the ORWL_GUARDED_BY / ORWL_REQUIRES / ORWL_EXCLUDES annotations
+(src/support/thread_annotations.h) fails the check. Syntax-only: no objects
+are produced and no build directory is needed.
+
+Exit codes: 0 = clean, 1 = violations (or clang errors), 77 = clang not
+available (ctest SKIP_RETURN_CODE; the CI leg installs clang, so the check
+gates there).
+
+Usage: tools/check_thread_safety.py [--clang CLANG++] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import glob
+import os
+import shutil
+import subprocess
+import sys
+
+SKIP = 77
+
+
+def find_clang(explicit: str | None) -> str | None:
+    candidates = [explicit] if explicit else []
+    candidates += ["clang++"] + [f"clang++-{v}" for v in range(21, 13, -1)]
+    for c in candidates:
+        if c and shutil.which(c):
+            return c
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang", help="clang++ binary to use")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = parser.parse_args()
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        print("check_thread_safety: clang++ not found — skipping "
+              "(Thread Safety Analysis is clang-only)", file=sys.stderr)
+        return SKIP
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sources = sorted(
+        glob.glob(os.path.join(root, "src", "**", "*.cpp"), recursive=True)
+        + glob.glob(os.path.join(root, "tests", "model", "*.cpp")))
+    if not sources:
+        print("check_thread_safety: no sources found", file=sys.stderr)
+        return 1
+
+    cmd_base = [
+        clang, "-std=c++20", "-fsyntax-only",
+        "-Wthread-safety", "-Werror=thread-safety",
+        "-I", os.path.join(root, "src"),
+        "-I", os.path.join(root, "tests"),
+    ]
+
+    def check(src: str) -> tuple[str, subprocess.CompletedProcess]:
+        return src, subprocess.run(cmd_base + [src], capture_output=True,
+                                   text=True)
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for src, proc in pool.map(check, sources):
+            rel = os.path.relpath(src, root)
+            if proc.returncode != 0:
+                failures += 1
+                print(f"FAIL {rel}", file=sys.stderr)
+                sys.stderr.write(proc.stderr)
+            elif proc.stderr.strip():
+                # Non-fatal diagnostics still worth surfacing in logs.
+                sys.stderr.write(proc.stderr)
+
+    if failures:
+        print(f"check_thread_safety: {failures}/{len(sources)} files failed",
+              file=sys.stderr)
+        return 1
+    print(f"check_thread_safety: {len(sources)} files clean under "
+          f"{clang} -Wthread-safety")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
