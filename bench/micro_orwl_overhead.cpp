@@ -16,12 +16,14 @@
 #include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/bench.h"
 #include "harness/json.h"
 #include "harness/stats.h"
+#include "obs/metrics.h"
 #include "orwl/runtime.h"
 #include "support/table.h"
 #include "support/time.h"
@@ -38,7 +40,25 @@ struct Micro {
   std::string wait;  ///< wait strategy in force ("" = not applicable)
   double items = 0;
   std::function<double()> once;
+  /// Wait-length (spin rounds per slow-path acquire) histogram summed over
+  /// every handle and repetition — the per-strategy distribution the JSON
+  /// embeds next to the timings. Null for non-runtime micros.
+  std::shared_ptr<obs::HistogramSnapshot> wait_rounds;
 };
+
+/// Fold every per-handle orwl.wait_rounds/* histogram of one run into the
+/// micro's accumulator.
+void merge_wait_rounds(const obs::RegistrySnapshot& snap,
+                       obs::HistogramSnapshot& into) {
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    if (h.name.rfind("orwl.wait_rounds", 0) != 0) continue;
+    into.count += h.count;
+    into.sum += h.sum;
+    for (int i = 0; i < obs::HistogramSnapshot::kBuckets; ++i)
+      into.buckets[static_cast<std::size_t>(i)] +=
+          h.buckets[static_cast<std::size_t>(i)];
+  }
+}
 
 // Raw queue cycle: insert -> (granted) -> release_and_renew, no threads.
 Micro queue_renew_cycle() {
@@ -65,7 +85,8 @@ Micro queue_renew_cycle() {
 
 /// N writer tasks round-robin on one location for `rounds` grants each.
 double run_writers(RuntimeOptions::ControlMode mode, sync::WaitStrategy wait,
-                   int writers, int rounds) {
+                   int writers, int rounds,
+                   obs::HistogramSnapshot* wait_out = nullptr) {
   RuntimeOptions opts;
   opts.control = mode;
   opts.record_flows = false;
@@ -87,7 +108,9 @@ double run_writers(RuntimeOptions::ControlMode mode, sync::WaitStrategy wait,
   for (int i = 0; i < writers; ++i) rt.add_handle(i, loc, AccessMode::Write);
   WallTimer timer;
   rt.run();
-  return timer.seconds();
+  const double seconds = timer.seconds();
+  if (wait_out != nullptr) merge_wait_rounds(rt.metrics().snapshot(), *wait_out);
+  return seconds;
 }
 
 // End-to-end grant latency: two tasks alternate on one location; a full
@@ -103,26 +126,35 @@ Micro runtime_alternation(bool per_task_control, sync::WaitStrategy wait,
   std::string name = std::string("runtime_alternation/") +
                      (per_task_control ? "control-threads" : "direct");
   if (suffix_strategy) name += "/" + sync::to_string(wait);
+  auto hist = std::make_shared<obs::HistogramSnapshot>();
   return {std::move(name), sync::to_string(wait), 2.0 * rounds,
-          [mode, wait, rounds] { return run_writers(mode, wait, 2, rounds); }};
+          [mode, wait, rounds, hist] {
+            return run_writers(mode, wait, 2, rounds, hist.get());
+          },
+          hist};
 }
 
 Micro runtime_contention(int writers) {
   const int rounds = 500;
+  auto hist = std::make_shared<obs::HistogramSnapshot>();
   return {"runtime_contention/" + std::to_string(writers),
           sync::to_string(sync::WaitStrategy::block()),
-          static_cast<double>(writers) * rounds, [writers, rounds] {
+          static_cast<double>(writers) * rounds, [writers, rounds, hist] {
             return run_writers(RuntimeOptions::ControlMode::Direct,
-                               sync::WaitStrategy::block(), writers, rounds);
-          }};
+                               sync::WaitStrategy::block(), writers, rounds,
+                               hist.get());
+          },
+          hist};
 }
 
 // Shared reads: one writer, N readers per round.
 Micro runtime_shared_reads(int readers) {
   const int rounds = 500;
+  auto hist = std::make_shared<obs::HistogramSnapshot>();
   return {"runtime_shared_reads/" + std::to_string(readers),
           sync::to_string(sync::WaitStrategy::block()),
-          static_cast<double>(readers + 1) * rounds, [readers, rounds] {
+          static_cast<double>(readers + 1) * rounds,
+          [readers, rounds, hist] {
             RuntimeOptions opts;
             opts.control = RuntimeOptions::ControlMode::Direct;
             opts.record_flows = false;
@@ -149,8 +181,11 @@ Micro runtime_shared_reads(int readers) {
               rt.add_handle(1 + i, loc, AccessMode::Read);
             WallTimer timer;
             rt.run();
-            return timer.seconds();
-          }};
+            const double seconds = timer.seconds();
+            merge_wait_rounds(rt.metrics().snapshot(), *hist);
+            return seconds;
+          },
+          hist};
 }
 
 }  // namespace
@@ -230,6 +265,12 @@ int main(int argc, char** argv) {
                         row.stats.median > 0
                             ? row.micro.items / row.stats.median
                             : 0.0);
+            // Wait-length distribution (spin rounds per slow-path
+            // acquire), all handles and repetitions pooled — what the
+            // wait-strategy sweep is actually about.
+            if (row.micro.wait_rounds && !row.micro.wait_rounds->empty())
+              harness::write_histogram(json, "wait_rounds",
+                                       *row.micro.wait_rounds);
             json.end_object();
           }
         });

@@ -9,6 +9,9 @@
 #include <utility>
 
 #include "harness/json.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "orwl/backend.h"
 #include "sim/simulator.h"
 #include "support/assert.h"
@@ -84,7 +87,7 @@ void emit_document(std::ostream& os, const std::string& bench,
   json.member("bench", bench);
   json.member("date", iso_utc_now());
   json.member("host_name", host_name());
-  json.member("harness_schema", 2);
+  json.member("harness_schema", 3);
   if (context_extra) context_extra(json);
   json.end_object();
   json.begin_array("benchmarks");
@@ -92,6 +95,20 @@ void emit_document(std::ostream& os, const std::string& bench,
   json.end_array();
   json.end_object();
   os << '\n';
+}
+
+// "dir/out.json" + "stencil2d/sim/treematch" -> "dir/out.stencil2d_sim_treematch.json":
+// one trace file per swept case, distinguishable at a glance.
+std::string trace_path_for(const std::string& base,
+                           const std::string& case_name) {
+  std::string tag = case_name;
+  for (char& c : tag)
+    if (c == '/' || c == ':') c = '_';
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return base + "." + tag;
+  return base.substr(0, dot) + "." + tag + base.substr(dot);
 }
 
 }  // namespace
@@ -130,6 +147,17 @@ CaseResult run_case(const CaseSpec& spec) {
     fetcher = emulated.get();
   }
 
+  // Observability: tracing / detailed metrics are process-global flags —
+  // flip them for this case's runs and restore afterwards. The last
+  // static-phase run on the TIMING backend supplies the written trace and
+  // the metric snapshot.
+  const bool tracing = !spec.trace_path.empty();
+  const bool keep_metrics = spec.collect_metrics || tracing;
+  const bool prev_trace = tracing ? obs::enable_tracing(true) : false;
+  const bool prev_detail =
+      keep_metrics ? obs::enable_detailed_metrics(true) : false;
+  obs::TraceData trace;
+
   workloads::Built built;
   // The recorded epoch trace covers the static phase only; the feedback
   // phase re-runs with the measured matrix and would overwrite it.
@@ -143,12 +171,16 @@ CaseResult run_case(const CaseSpec& spec) {
     if (spec.replacement.enabled()) p.replacement(spec.replacement);
     if (spec.wait) p.wait_strategy(*spec.wait);
     if (spec.memory != mem::MemoryPolicy::Heap) p.memory_policy(spec.memory);
-    const RunReport rep = p.run(backend);
+    RunReport rep = p.run(backend);
     res.grants = rep.grants;
     res.placed = rep.placed;
     if (record_epochs) {
       res.epochs = rep.epochs;
       res.replacements = rep.replacements;
+      if (&backend == timing.get()) {
+        if (tracing) trace = std::move(rep.trace);
+        if (keep_metrics) res.metrics = std::move(rep.metrics);
+      }
     }
     return rep.seconds;
   };
@@ -184,6 +216,17 @@ CaseResult run_case(const CaseSpec& spec) {
 
   record_epochs = false;
 
+  // Observability flags restored before the feedback phase: its re-runs
+  // are not part of the written trace.
+  if (tracing) {
+    obs::enable_tracing(prev_trace);
+    res.trace_events = trace.total_events();
+    res.trace_dropped = trace.dropped;
+    if (obs::write_chrome_trace_file(spec.trace_path, trace))
+      std::cout << "wrote " << spec.trace_path << '\n';
+  }
+  if (keep_metrics) obs::enable_detailed_metrics(prev_detail);
+
   // Phase 2 (feedback): re-place with TreeMatch on the flow matrix the
   // runtime MEASURED during phase 1, and re-run — Algorithm 1 fed by
   // instrumentation instead of the declared pattern.
@@ -208,16 +251,46 @@ CaseResult run_case(const CaseSpec& spec) {
   return res;
 }
 
+void write_histogram(JsonWriter& json, const std::string& key,
+                     const obs::HistogramSnapshot& h) {
+  json.begin_object(key);
+  json.member("count", h.count);
+  json.member("sum", h.sum);
+  json.member("mean", h.mean());
+  json.member("p50", h.quantile(0.50));
+  json.member("p95", h.quantile(0.95));
+  json.member("p99", h.quantile(0.99));
+  // Sparse non-zero log2 buckets as [inclusive_upper_bound, count] pairs.
+  json.begin_array("buckets");
+  for (int i = 0; i < obs::HistogramSnapshot::kBuckets; ++i) {
+    const std::uint64_t count = h.buckets[static_cast<std::size_t>(i)];
+    if (count == 0) continue;
+    json.begin_object();
+    json.member("le", obs::HistogramSnapshot::bucket_upper(i));
+    json.member("count", count);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
 std::vector<CaseResult> run_sweep(const CaseSpec& base,
                                   const std::vector<place::Policy>& policies,
-                                  const std::vector<std::string>& backends) {
+                                  const std::vector<std::string>& backends,
+                                  bool force_trace_split) {
   std::vector<CaseResult> out;
   out.reserve(policies.size() * backends.size());
+  const bool many =
+      force_trace_split || policies.size() * backends.size() > 1;
   for (const std::string& backend : backends) {
     for (const place::Policy policy : policies) {
       CaseSpec spec = base;
       spec.backend = backend;
       spec.policy = policy;
+      // One trace file per case: splice the case name into the path so a
+      // sweep does not overwrite one file repeatedly.
+      if (!spec.trace_path.empty() && many)
+        spec.trace_path = trace_path_for(base.trace_path, case_name(spec));
       out.push_back(run_case(spec));
     }
   }
@@ -261,6 +334,27 @@ void write_json(std::ostream& os, const std::vector<CaseResult>& results) {
         json.end_object();
       } else {
         json.null_member("feedback");
+      }
+      // Observability (harness_schema >= 3): present only when the case
+      // asked for it (trace_path / collect_metrics).
+      if (!r.spec.trace_path.empty()) {
+        json.member("trace_path", r.spec.trace_path);
+        json.member("trace_events", r.trace_events);
+        json.member("trace_dropped", r.trace_dropped);
+      }
+      if (!r.metrics.empty()) {
+        json.begin_object("metrics");
+        for (const auto& [name, v] : r.metrics.counters)
+          json.member(name, v);
+        for (const auto& [name, v] : r.metrics.gauges)
+          json.member(name, static_cast<long>(v));
+        json.begin_object("histograms");
+        for (const obs::HistogramSnapshot& h : r.metrics.histograms) {
+          if (h.empty()) continue;
+          write_histogram(json, h.name, h);
+        }
+        json.end_object();
+        json.end_object();
       }
       // Online re-placement trace (docs/benchmarks.md "per-epoch fields").
       json.member("replacement",

@@ -62,6 +62,14 @@ struct CaseSpec {
   /// numa_local, or numa_interleave. Applied to both backends — the
   /// runtime places real pages, the sim models the effect.
   mem::MemoryPolicy memory = mem::MemoryPolicy::Heap;
+  /// Non-empty: turn tracing on for this case's runs and write the last
+  /// static-phase run's Chrome/Perfetto trace (obs/export.h) here. The
+  /// recording overhead is part of the measured time — trace OR measure,
+  /// not both at once.
+  std::string trace_path;
+  /// Turn on detailed metrics (per-handle acquire-latency histograms) and
+  /// keep the run's registry snapshot in CaseResult::metrics / the JSON.
+  bool collect_metrics = false;
 };
 
 /// Timings of the feedback (measured-matrix TreeMatch) phase.
@@ -89,16 +97,28 @@ struct CaseResult {
   /// spec's replacement policy is off): one record per epoch boundary.
   std::vector<orwl::RunReport::EpochRecord> epochs;
   int replacements = 0;  ///< boundaries at which Algorithm 1 re-ran
+  /// Metric snapshot of the last static-phase run (CaseSpec
+  /// collect_metrics; also filled when trace_path is set).
+  obs::RegistrySnapshot metrics;
+  /// Events in / dropped from the written trace (CaseSpec trace_path).
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
 };
 
 /// Run one case end to end. Throws ContractError on unknown workload /
 /// backend names.
 CaseResult run_case(const CaseSpec& spec);
 
-/// Cartesian sweep of `base` over policies x backends.
+/// Cartesian sweep of `base` over policies x backends. When the sweep
+/// has several cases and `base.trace_path` is set, each case's trace
+/// goes to its own file (the case name is spliced into the path);
+/// `force_trace_split` makes that happen even for a single-case sweep —
+/// for callers that run several sweeps off the same base (workload /
+/// memory / replacement twins) and would otherwise overwrite one file.
 std::vector<CaseResult> run_sweep(const CaseSpec& base,
                                   const std::vector<place::Policy>& policies,
-                                  const std::vector<std::string>& backends);
+                                  const std::vector<std::string>& backends,
+                                  bool force_trace_split = false);
 
 /// Serialize results in the BENCH_*.json layout: a context object plus a
 /// "benchmarks" array, one entry per case.
@@ -122,6 +142,13 @@ bool write_bench_file(const std::string& path, const std::string& bench,
 
 /// "workload/backend/policy" display name of a case.
 std::string case_name(const CaseSpec& spec);
+
+/// Serialize one histogram snapshot as a JSON object member `key`:
+/// count/sum/mean/p50/p95/p99 plus the sparse non-zero log2 buckets as
+/// [upper_bound, count] pairs. Shared by write_json and the bench
+/// binaries so the layout cannot drift.
+void write_histogram(JsonWriter& json, const std::string& key,
+                     const obs::HistogramSnapshot& h);
 
 /// Simulated seconds of one iteration of a communication-bound exchange
 /// workload under `mapping` — light compute, `exchanges_per_iteration`

@@ -1,0 +1,166 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <ostream>
+#include <vector>
+
+namespace orwl::obs {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Chrome `ts` is in microseconds; keep nanosecond precision as a
+/// fractional part so distinct events never collapse onto one timestamp.
+void write_ts_us(std::ostream& os, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  os << buf;
+}
+
+struct EventSink {
+  std::ostream& os;
+  bool first = true;
+
+  void begin(std::int32_t tid, std::uint64_t ts, const char* name,
+             std::uint64_t arg) {
+    open(tid, ts, name, "B");
+    os << ",\"args\":{\"arg\":" << arg << "}}";
+  }
+  void end(std::int32_t tid, std::uint64_t ts, const char* name) {
+    open(tid, ts, name, "E");
+    os << '}';
+  }
+  void instant(std::int32_t tid, std::uint64_t ts, const char* name,
+               std::uint64_t arg) {
+    open(tid, ts, name, "i");
+    os << ",\"s\":\"t\",\"args\":{\"arg\":" << arg << "}}";
+  }
+  void thread_name(std::int32_t tid, const std::string& name) {
+    comma();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":";
+    write_escaped(os, name);
+    os << "}}";
+  }
+
+ private:
+  void comma() {
+    if (!first) os << ",\n";
+    first = false;
+  }
+  void open(std::int32_t tid, std::uint64_t ts, const char* name,
+            const char* ph) {
+    comma();
+    os << "{\"name\":\"" << name << "\",\"ph\":\"" << ph
+       << "\",\"pid\":0,\"tid\":" << tid << ",\"ts\":";
+    write_ts_us(os, ts);
+  }
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceData& data) {
+  std::uint64_t base = std::numeric_limits<std::uint64_t>::max();
+  for (const TraceThread& t : data.threads)
+    for (const TraceEvent& ev : t.events) base = std::min(base, ev.ts_ns);
+  if (data.threads.empty()) base = 0;
+
+  os << "{\"traceEvents\":[\n";
+  EventSink sink{os};
+  for (const TraceThread& t : data.threads) {
+    sink.thread_name(t.tid, t.name);
+    std::vector<EventKind> open_spans;
+    std::uint64_t last_ts = 0;
+    for (const TraceEvent& ev : t.events) {
+      const std::uint64_t ts = ev.ts_ns - base;
+      last_ts = ts;
+      if (is_span_begin(ev.kind)) {
+        open_spans.push_back(ev.kind);
+        sink.begin(t.tid, ts, span_name(ev.kind), ev.arg);
+      } else if (is_span_end(ev.kind)) {
+        if (!open_spans.empty() && open_spans.back() == begin_of(ev.kind)) {
+          open_spans.pop_back();
+          sink.end(t.tid, ts, span_name(ev.kind));
+        } else {
+          // Orphaned End (its Begin was overwritten in the ring, or
+          // nesting was broken by a torn tail): demote to an instant so
+          // the stream stays balanced.
+          sink.instant(t.tid, ts, span_name(ev.kind), ev.arg);
+        }
+      } else {
+        sink.instant(t.tid, ts, to_string(ev.kind), ev.arg);
+      }
+    }
+    // Close Begins that never ended (run stopped mid-span) at the
+    // thread's last timestamp, innermost first.
+    while (!open_spans.empty()) {
+      sink.end(t.tid, last_ts, span_name(open_spans.back()));
+      open_spans.pop_back();
+    }
+  }
+  os << "\n],\n\"otherData\":{\"dropped\":" << data.dropped << "}}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path, const TraceData& data) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "obs: cannot open trace file '" << path << "'\n";
+    return false;
+  }
+  write_chrome_trace(out, data);
+  return static_cast<bool>(out);
+}
+
+void dump_metrics(std::ostream& os, const RegistrySnapshot& snap) {
+  for (const auto& [name, v] : snap.counters)
+    os << "counter " << name << " " << v << "\n";
+  for (const auto& [name, v] : snap.gauges)
+    os << "gauge " << name << " " << v << "\n";
+  for (const HistogramSnapshot& h : snap.histograms) {
+    os << "hist " << h.name << " count=" << h.count << " sum=" << h.sum
+       << " mean=" << h.mean() << " p50<=" << h.quantile(0.50)
+       << " p95<=" << h.quantile(0.95) << " p99<=" << h.quantile(0.99);
+    os << " buckets=";
+    bool first = true;
+    for (int i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      const std::uint64_t n = h.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      os << (first ? "" : ",") << "le" << HistogramSnapshot::bucket_upper(i)
+         << ":" << n;
+      first = false;
+    }
+    if (first) os << "-";
+    os << "\n";
+  }
+}
+
+}  // namespace orwl::obs

@@ -1,0 +1,36 @@
+#pragma once
+// Exporters for collected traces and metric snapshots.
+//
+// write_chrome_trace emits the Chrome/Perfetto `trace_event` JSON object
+// format ({"traceEvents":[...]}): load the file at https://ui.perfetto.dev
+// or chrome://tracing. Begin/End event kinds become `B`/`E` duration
+// spans, everything else becomes an instant event, and each thread gets a
+// `thread_name` metadata record. Timestamps are rebased so the trace
+// starts at ~0 and converted to the format's microsecond unit.
+//
+// The writer sanitizes span nesting (a ring that dropped its oldest
+// events may hold an End without its Begin, or a Begin that never ends):
+// unmatched Ends are emitted as instants, unclosed Begins are closed at
+// the thread's last timestamp. tools/check_trace.py validates the result.
+//
+// dump_metrics is the plain-text twin for terminals and logs: one line
+// per metric, histograms as count/mean/quantiles plus sparse non-zero
+// log2 buckets.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace orwl::obs {
+
+void write_chrome_trace(std::ostream& os, const TraceData& data);
+
+/// Write the trace to `path`. Returns false (after printing to stderr) if
+/// the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path, const TraceData& data);
+
+void dump_metrics(std::ostream& os, const RegistrySnapshot& snap);
+
+}  // namespace orwl::obs

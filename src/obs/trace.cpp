@@ -1,0 +1,274 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
+
+#include "obs/metrics.h"
+#include "support/thread.h"
+#include "sync/mutex.h"
+#include "sync/sharded_counter.h"
+
+namespace orwl::obs {
+
+namespace {
+
+const char* const kKindNames[] = {
+    "acquire_begin", "acquire_end", "grant",         "release",
+    "event_pop",     "epoch_begin", "epoch_end",     "replace_begin",
+    "replace_end",   "page_move",   "compute_begin", "compute_end",
+};
+static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) ==
+                  static_cast<std::size_t>(EventKind::kCount),
+              "kind name table out of sync with EventKind");
+
+}  // namespace
+
+const char* to_string(EventKind k) {
+  const auto i = static_cast<std::size_t>(k);
+  return i < static_cast<std::size_t>(EventKind::kCount) ? kKindNames[i]
+                                                         : "unknown";
+}
+
+const char* span_name(EventKind k) {
+  switch (k) {
+    case EventKind::AcquireBegin:
+    case EventKind::AcquireEnd:
+      return "acquire";
+    case EventKind::EpochBegin:
+    case EventKind::EpochEnd:
+      return "epoch";
+    case EventKind::ReplaceBegin:
+    case EventKind::ReplaceEnd:
+      return "replace";
+    case EventKind::ComputeBegin:
+    case EventKind::ComputeEnd:
+      return "compute";
+    default:
+      return to_string(k);
+  }
+}
+
+bool is_span_begin(EventKind k) {
+  return k == EventKind::AcquireBegin || k == EventKind::EpochBegin ||
+         k == EventKind::ReplaceBegin || k == EventKind::ComputeBegin;
+}
+
+bool is_span_end(EventKind k) {
+  return k == EventKind::AcquireEnd || k == EventKind::EpochEnd ||
+         k == EventKind::ReplaceEnd || k == EventKind::ComputeEnd;
+}
+
+EventKind begin_of(EventKind end) {
+  switch (end) {
+    case EventKind::AcquireEnd:
+      return EventKind::AcquireBegin;
+    case EventKind::EpochEnd:
+      return EventKind::EpochBegin;
+    case EventKind::ReplaceEnd:
+      return EventKind::ReplaceBegin;
+    case EventKind::ComputeEnd:
+      return EventKind::ComputeBegin;
+    default:
+      return EventKind::kCount;
+  }
+}
+
+#ifndef ORWL_OBS_NO_TRACE
+
+namespace {
+
+constexpr std::size_t kRingCapacity = 1u << 14;  // power of two (mask)
+
+/// SPSC ring: the owning thread writes, collectors read after quiesce.
+/// Overflow overwrites the oldest slot — the write index never stops.
+struct Ring {
+  // order: the write index is stored with release after the slot write so
+  // a (quiesced or racing) reader that acquires it sees complete records.
+  alignas(sync::kCacheLine) std::atomic<std::uint64_t> widx{0};
+  TraceEvent slots[kRingCapacity];
+
+  void push(const TraceEvent& ev) noexcept {
+    // order: relaxed — only the owning thread advances widx.
+    const std::uint64_t w = widx.load(std::memory_order_relaxed);
+    slots[w & (kRingCapacity - 1)] = ev;
+    // order: release — publishes the slot write above to collectors.
+    widx.store(w + 1, std::memory_order_release);
+  }
+};
+
+/// All rings ever allocated plus a free list of rings whose owning thread
+/// exited; a new tracing thread leases a free ring before allocating.
+struct RingRegistry {
+  sync::Mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings ORWL_GUARDED_BY(mu);
+  std::vector<Ring*> free_rings ORWL_GUARDED_BY(mu);
+  std::unordered_map<std::int32_t, std::string> thread_names
+      ORWL_GUARDED_BY(mu);
+  /// Drops already accounted to `trace.dropped` per ring (collect() adds
+  /// only the delta, so repeated collects never double-count).
+  std::unordered_map<const Ring*, std::uint64_t> reported_drops
+      ORWL_GUARDED_BY(mu);
+
+  static RingRegistry& instance() {
+    static RingRegistry* reg = new RingRegistry;  // leaked: threads may
+    return *reg;  // trace during static destruction of the main thread
+  }
+};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string current_pthread_name() {
+#ifdef __linux__
+  char buf[32] = {};
+  if (pthread_getname_np(pthread_self(), buf, sizeof(buf)) == 0 &&
+      buf[0] != '\0')
+    return buf;
+#endif
+  return {};
+}
+
+/// Thread-local ring lease: acquired on the first traced event, returned
+/// to the free list when the thread exits (events already written carry
+/// their tid, so handing the buffer to another thread later is safe).
+struct RingLease {
+  Ring* ring = nullptr;
+
+  Ring* get() {
+    if (ring == nullptr) {
+      RingRegistry& reg = RingRegistry::instance();
+      const int tid = current_thread_index();
+      sync::LockGuard lock(reg.mu);
+      if (!reg.free_rings.empty()) {
+        ring = reg.free_rings.back();
+        reg.free_rings.pop_back();
+      } else {
+        reg.rings.push_back(std::make_unique<Ring>());
+        ring = reg.rings.back().get();
+      }
+      std::string name = current_pthread_name();
+      if (name.empty()) name = "t" + std::to_string(tid);
+      reg.thread_names[tid] = std::move(name);
+    }
+    return ring;
+  }
+
+  ~RingLease() {
+    if (ring == nullptr) return;
+    RingRegistry& reg = RingRegistry::instance();
+    sync::LockGuard lock(reg.mu);
+    reg.free_rings.push_back(ring);
+  }
+};
+
+thread_local RingLease t_lease;
+
+}  // namespace
+
+namespace detail {
+
+void record(EventKind kind, std::uint64_t arg) noexcept {
+  TraceEvent ev;
+  ev.ts_ns = now_ns();
+  ev.arg = arg;
+  ev.tid = current_thread_index();
+  ev.kind = kind;
+  t_lease.get()->push(ev);
+}
+
+}  // namespace detail
+
+bool enable_tracing(bool on) noexcept {
+  // order: relaxed — see tracing_enabled(); run boundaries order the flip.
+  return detail::g_trace_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+TraceData collect() {
+  RingRegistry& reg = RingRegistry::instance();
+  std::unordered_map<std::int32_t, std::vector<TraceEvent>> by_tid;
+  TraceData out;
+  {
+    sync::LockGuard lock(reg.mu);
+    for (const auto& ring : reg.rings) {
+      // order: acquire — pairs with push()'s release store so the slot
+      // contents below are visible.
+      const std::uint64_t w = ring->widx.load(std::memory_order_acquire);
+      const std::uint64_t lost = w > kRingCapacity ? w - kRingCapacity : 0;
+      std::uint64_t& reported = reg.reported_drops[ring.get()];
+      if (lost > reported) {
+        out.dropped += lost - reported;
+        reported = lost;
+      }
+      const std::uint64_t first = lost;
+      for (std::uint64_t i = first; i < w; ++i)
+        by_tid[ring->slots[i & (kRingCapacity - 1)].tid].push_back(
+            ring->slots[i & (kRingCapacity - 1)]);
+    }
+    for (auto& [tid, events] : by_tid) {
+      std::sort(events.begin(), events.end(),
+                [](const TraceEvent& a, const TraceEvent& b) {
+                  return a.ts_ns < b.ts_ns;
+                });
+      TraceThread t;
+      t.tid = tid;
+      const auto it = reg.thread_names.find(tid);
+      t.name = it != reg.thread_names.end() ? it->second
+                                            : "t" + std::to_string(tid);
+      t.events = std::move(events);
+      out.threads.push_back(std::move(t));
+    }
+  }
+  std::sort(out.threads.begin(), out.threads.end(),
+            [](const TraceThread& a, const TraceThread& b) {
+              return a.tid < b.tid;
+            });
+  if (out.dropped != 0)
+    global_registry().counter("trace.dropped").add(out.dropped);
+  return out;
+}
+
+void reset() {
+  RingRegistry& reg = RingRegistry::instance();
+  sync::LockGuard lock(reg.mu);
+  for (const auto& ring : reg.rings)
+    // order: relaxed — producers are quiescent by contract; the next
+    // thread-create/join pair orders the clear against new pushes.
+    ring->widx.store(0, std::memory_order_relaxed);
+  reg.reported_drops.clear();
+}
+
+std::size_t buffered_events() {
+  RingRegistry& reg = RingRegistry::instance();
+  sync::LockGuard lock(reg.mu);
+  std::size_t n = 0;
+  for (const auto& ring : reg.rings) {
+    // order: acquire — same pairing as collect().
+    const std::uint64_t w = ring->widx.load(std::memory_order_acquire);
+    n += static_cast<std::size_t>(std::min<std::uint64_t>(w, kRingCapacity));
+  }
+  return n;
+}
+
+std::size_t ring_capacity() { return kRingCapacity; }
+
+#else  // ORWL_OBS_NO_TRACE: recording compiled out, collection is empty.
+
+bool enable_tracing(bool) noexcept { return false; }
+TraceData collect() { return {}; }
+void reset() {}
+std::size_t buffered_events() { return 0; }
+std::size_t ring_capacity() { return 0; }
+
+#endif
+
+}  // namespace orwl::obs

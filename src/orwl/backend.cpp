@@ -99,6 +99,10 @@ RuntimeBackend::RuntimeBackend(RuntimeOptions opts, topo::Topology topo)
     : opts_(opts), topo_(std::move(topo)) {}
 
 RunReport RuntimeBackend::run(const Program& program) {
+  // A fresh trace window per run: whatever an earlier run left in the
+  // rings is not this report's business. (Earlier runs' threads have
+  // joined, so the producers are quiescent as reset() requires.)
+  if (obs::tracing_enabled()) obs::reset();
   RuntimeOptions opts = opts_;
   // The program's wait-strategy and memory knobs beat the backend
   // defaults: the knobs travel with the declaration, so one Program can
@@ -141,6 +145,8 @@ RunReport RuntimeBackend::run(const Program& program) {
     rt_->set_epoch_hook(
         rp.epoch_length, [this, &rep, &replacer, &current](int epoch,
                                                            int round) {
+          obs::trace(obs::EventKind::ReplaceBegin,
+                     static_cast<std::uint64_t>(epoch));
           WallTimer replace_timer;
           Instrument& stats = rt_->stats();
           const comm::CommMatrix window = stats.epoch_flow_matrix();
@@ -188,6 +194,8 @@ RunReport RuntimeBackend::run(const Program& program) {
           }
           rec.replace_seconds = replace_timer.seconds();
           rec.compute_pu = current.compute_pu;
+          obs::trace(obs::EventKind::ReplaceEnd,
+                     static_cast<std::uint64_t>(rec.migrated));
           rep.epochs.push_back(std::move(rec));
         });
   }
@@ -196,6 +204,8 @@ RunReport RuntimeBackend::run(const Program& program) {
   rt_->run();
   rep.seconds = timer.seconds();
   rep.grants = rt_->stats().read_grants() + rt_->stats().write_grants();
+  rep.metrics = rt_->metrics().snapshot();
+  if (obs::tracing_enabled()) rep.trace = obs::collect();
   return rep;
 }
 
@@ -495,6 +505,27 @@ RunReport SimBackend::run(const Program& program) {
 
   last_ = sim::Report{};
   int seg_start = 0;
+  // Synthetic spans from the analytic timeline (only while tracing is on):
+  // every costed segment becomes a `compute` span on each task's row, and
+  // each fired re-placement becomes a `replace` span on an extra "sim"
+  // row — so a predicted run opens next to a real one in Perfetto.
+  const bool synth = obs::tracing_enabled();
+  std::vector<std::vector<obs::TraceEvent>> synth_rows;
+  if (synth)
+    synth_rows.resize(static_cast<std::size_t>(n) + 1);  // [n] = sim row
+  double sim_clock = 0.0;  // cumulative predicted seconds
+  int seg_index = 0;
+  const auto synth_span = [&](std::size_t row, obs::EventKind begin,
+                              obs::EventKind end, double t0, double t1,
+                              std::uint64_t arg) {
+    const auto ns = [](double s) {
+      return static_cast<std::uint64_t>(s * 1e9);
+    };
+    synth_rows[row].push_back(
+        {ns(t0), arg, static_cast<std::int32_t>(row), begin});
+    synth_rows[row].push_back(
+        {ns(t1), arg, static_cast<std::int32_t>(row), end});
+  };
   const auto flush_segment = [&](int r) {
     if (r <= seg_start) return;
     sim::Workload seg = derived.base;
@@ -510,6 +541,15 @@ RunReport SimBackend::run(const Program& program) {
     last_.sync_seconds += sr.sync_seconds;
     last_.lock_seconds += sr.lock_seconds;
     last_.max_pu_load = std::max(last_.max_pu_load, sr.max_pu_load);
+    if (synth) {
+      const double t1 = sim_clock + sr.total_seconds;
+      for (int t = 0; t < n; ++t)
+        synth_span(static_cast<std::size_t>(t), obs::EventKind::ComputeBegin,
+                   obs::EventKind::ComputeEnd, sim_clock, t1,
+                   static_cast<std::uint64_t>(seg_index));
+      ++seg_index;
+    }
+    sim_clock += sr.total_seconds;
     seg_start = r;
   };
 
@@ -567,6 +607,18 @@ RunReport SimBackend::run(const Program& program) {
       rec.replace_seconds = rec.migrated * cost_.migration_cost +
                             moved_bytes / cost_.page_move_bandwidth;
       last_.total_seconds += rec.replace_seconds;
+      if (synth) {
+        synth_span(static_cast<std::size_t>(n), obs::EventKind::ReplaceBegin,
+                   obs::EventKind::ReplaceEnd, sim_clock,
+                   sim_clock + rec.replace_seconds,
+                   static_cast<std::uint64_t>(rec.migrated));
+        if (rec.moved_locations > 0)
+          synth_rows[static_cast<std::size_t>(n)].push_back(
+              {static_cast<std::uint64_t>(sim_clock * 1e9),
+               static_cast<std::uint64_t>(rec.moved_locations),
+               static_cast<std::int32_t>(n), obs::EventKind::PageMove});
+      }
+      sim_clock += rec.replace_seconds;
       ++rep.replacements;
     }
     rec.compute_pu = placement.compute_pu;
@@ -577,6 +629,19 @@ RunReport SimBackend::run(const Program& program) {
   rep.seconds = last_.total_seconds;
   rep.grants = derived.total_grants;
 
+  if (synth) {
+    for (std::size_t row = 0; row < synth_rows.size(); ++row) {
+      if (synth_rows[row].empty()) continue;
+      obs::TraceThread tt;
+      tt.tid = static_cast<std::int32_t>(row);
+      tt.name = row < static_cast<std::size_t>(n)
+                    ? "sim:" + program.task_decls()[row].name
+                    : "sim:runtime";
+      tt.events = std::move(synth_rows[row]);
+      rep.trace.threads.push_back(std::move(tt));
+    }
+  }
+
   if (opts_.emulate) {
     RuntimeOptions ro;
     ro.control = RuntimeOptions::ControlMode::Direct;
@@ -584,6 +649,7 @@ RunReport SimBackend::run(const Program& program) {
     build_runtime(program, *emu_rt_);
     apply_inits(program, *emu_rt_);
     emu_rt_->run();
+    rep.metrics = emu_rt_->metrics().snapshot();
   } else {
     emu_rt_.reset();
   }

@@ -21,6 +21,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "orwl/program.h"
 #include "orwl/runtime.h"
 #include "place/placement.h"
@@ -60,6 +62,17 @@ struct RunReport {
   };
   std::vector<EpochRecord> epochs;
   int replacements = 0;  ///< boundaries at which Algorithm 1 re-ran
+
+  /// Observability (filled only while obs::tracing_enabled()): the
+  /// collected per-thread trace of the run — real recorded events from the
+  /// RuntimeBackend, synthetic spans from the SimBackend's analytic
+  /// timeline, so both open side by side in the same Perfetto view. Write
+  /// out with obs::write_chrome_trace_file.
+  obs::TraceData trace;
+  /// Snapshot of the executing runtime's metric registry (Instrument
+  /// counters, per-handle wait/latency histograms). Empty for a pure
+  /// (non-emulated) sim run.
+  obs::RegistrySnapshot metrics;
 };
 
 class Backend {

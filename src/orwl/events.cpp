@@ -1,5 +1,6 @@
 #include "orwl/events.h"
 
+#include "obs/trace.h"
 #include "sync/mutex.h"
 #include "sync/waiter.h"
 
@@ -46,6 +47,7 @@ bool EventQueue::pop_all(std::vector<Event>& out) {
     {
       sync::LockGuard lock(mu_);
       if (!events_.empty()) {
+        obs::trace(obs::EventKind::EventPop, events_.size());
         out.insert(out.end(), events_.begin(), events_.end());
         events_.clear();
         return true;

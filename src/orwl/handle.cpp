@@ -1,5 +1,8 @@
 #include "orwl/handle.h"
 
+#include <chrono>
+
+#include "obs/trace.h"
 #include "support/assert.h"
 #include "sync/waiter.h"
 
@@ -27,8 +30,25 @@ void Handle::request() {
   location_.queue().insert(current());
 }
 
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 std::span<std::byte> Handle::acquire() {
   ORWL_CHECK_MSG(!acquired_, "acquire() while already holding the lock");
+  obs::trace(obs::EventKind::AcquireBegin,
+             static_cast<std::uint64_t>(id_));
+  // Acquire latency needs two clock reads; gate them behind the
+  // detailed-metrics flag so the default acquire stays clock-free.
+  const bool timed = acquire_ns_ != nullptr && obs::detailed_metrics_enabled();
+  const std::uint64_t t0 = timed ? steady_ns() : 0;
   Request& cur = current();
   // order: acquire — pairs with the queue's release store of Granted; it
   // publishes the previous holder's buffer writes on the fast path.
@@ -40,12 +60,21 @@ std::span<std::byte> Handle::acquire() {
   // Otherwise park on the state word until delivery notifies. The only
   // transition out of Requested is to Granted, so one wait suffices.
   if (s != RequestState::Granted) {
-    s = sync::wait_while_equal(cur.state, RequestState::Requested, wait_);
+    sync::WaitLength len;
+    s = sync::wait_while_equal(cur.state, RequestState::Requested, wait_,
+                               wait_rounds_ != nullptr ? &len : nullptr);
     ORWL_CHECK_MSG(s == RequestState::Granted,
                    "request state corrupted while waiting (state "
                        << static_cast<int>(s) << ")");
+    if (wait_rounds_ != nullptr) wait_rounds_->record(len.rounds);
+  } else if (wait_rounds_ != nullptr) {
+    // Uncontended acquires land in bucket 0 — the fast-path share of the
+    // distribution is signal for the wait auto-tuner.
+    wait_rounds_->record(0);
   }
+  if (timed) acquire_ns_->record(steady_ns() - t0);
   acquired_ = true;
+  obs::trace(obs::EventKind::AcquireEnd, static_cast<std::uint64_t>(id_));
   return location_.data();
 }
 
@@ -64,12 +93,14 @@ bool Handle::test() const {
 void Handle::release() {
   ORWL_CHECK_MSG(acquired_, "release() without acquire()");
   acquired_ = false;
+  obs::trace(obs::EventKind::Release, static_cast<std::uint64_t>(id_));
   location_.queue().release(current());
 }
 
 void Handle::release_and_renew() {
   ORWL_CHECK_MSG(acquired_, "release_and_renew() without acquire()");
   acquired_ = false;
+  obs::trace(obs::EventKind::Release, static_cast<std::uint64_t>(id_));
   // The spare slot becomes the next-iteration request; it may be granted
   // (and delivered) before release_and_renew returns.
   Request& cur = current();

@@ -21,6 +21,7 @@
 
 #include <span>
 
+#include "obs/metrics.h"
 #include "orwl/location.h"
 #include "orwl/queue.h"
 #include "sync/wait_strategy.h"
@@ -76,6 +77,16 @@ class Handle {
   /// notifies. Not for user code.
   static void deliver_grant(Request& req) { sync::notify_all(req.state); }
 
+  /// Wire the per-handle observability sinks (done by Runtime::add_handle;
+  /// either may be null). `wait_rounds` gets every acquire's spin-round
+  /// count (one relaxed fetch_add — always on); `acquire_ns` gets
+  /// wall-clock acquire latency, recorded only while
+  /// obs::detailed_metrics_enabled() since it costs two clock reads.
+  void set_metrics(obs::Histogram* wait_rounds, obs::Histogram* acquire_ns) {
+    wait_rounds_ = wait_rounds;
+    acquire_ns_ = acquire_ns;
+  }
+
  private:
   Request& current() { return slots_[active_]; }
   [[nodiscard]] const Request& current() const { return slots_[active_]; }
@@ -90,6 +101,9 @@ class Handle {
   Request slots_[2];
   int active_ = 0;
   bool acquired_ = false;  // owner-thread view; no lock needed
+
+  obs::Histogram* wait_rounds_ = nullptr;  // observability sinks, optional
+  obs::Histogram* acquire_ns_ = nullptr;
 };
 
 /// Typed view helper: reinterpret a byte span as a span of T.

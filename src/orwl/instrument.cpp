@@ -6,13 +6,33 @@
 
 namespace orwl {
 
-Instrument::Instrument(int num_tasks) : order_(num_tasks) {
+Instrument::Instrument(int num_tasks, obs::Registry& registry)
+    : read_grants_(registry.counter("orwl.grants.read")),
+      write_grants_(registry.counter("orwl.grants.write")),
+      releases_(registry.counter("orwl.releases")),
+      order_(num_tasks) {
   for (FlowShard& s : shards_) s.flows.resize(num_tasks);
+}
+
+bool Instrument::pristine() const {
+  if (read_grants_.read() != 0 || write_grants_.read() != 0 ||
+      releases_.read() != 0)
+    return false;
+  for (const FlowShard& s : shards_) {
+    sync::LockGuard lock(s.mu);
+    if (s.flows.total_volume() != 0.0) return false;
+  }
+  return true;
 }
 
 void Instrument::resize(int num_tasks) {
   ORWL_CHECK_MSG(num_tasks >= order_,
                  "instrument cannot shrink below recorded tasks");
+  // Construction-phase-only contract: a resize concurrent with (or after)
+  // recording would race the flow shards and silently drop edges.
+  ORWL_ASSERT_MSG(pristine(),
+                  "Instrument::resize after recording started; add tasks "
+                  "before the run records grants or flows");
   order_ = num_tasks;
   for (FlowShard& s : shards_) {
     sync::LockGuard lock(s.mu);

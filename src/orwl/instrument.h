@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "comm/comm_matrix.h"
+#include "obs/metrics.h"
 #include "orwl/fwd.h"
 #include "support/thread_annotations.h"
 #include "sync/mutex.h"
@@ -24,10 +25,15 @@ namespace orwl {
 
 class Instrument {
  public:
-  explicit Instrument(int num_tasks);
+  /// The grant/release counters live in `registry` ("orwl.grants.read",
+  /// "orwl.grants.write", "orwl.releases") so reports and the metrics dump
+  /// see them alongside the rest of the runtime's metrics. The registry
+  /// must outlive the Instrument (the Runtime owns both, registry first).
+  Instrument(int num_tasks, obs::Registry& registry);
 
   /// Grow the matrix when tasks are added after construction.
-  /// Construction-phase only: must not race record_flow.
+  /// Construction-phase only (enforced): must not race record_flow, so it
+  /// asserts that nothing has been recorded yet.
   void resize(int num_tasks);
 
   void record_grant(AccessMode mode);
@@ -44,6 +50,10 @@ class Instrument {
     return write_grants_.read();
   }
   [[nodiscard]] std::uint64_t releases() const { return releases_.read(); }
+
+  /// True until the first record_grant/record_release/record_flow — the
+  /// construction-phase window in which resize() is legal.
+  [[nodiscard]] bool pristine() const;
 
   /// Symmetric matrix of bytes exchanged between tasks so far (the flush:
   /// sums the per-thread shards).
@@ -70,9 +80,9 @@ class Instrument {
     comm::CommMatrix flows ORWL_GUARDED_BY(mu);
   };
 
-  sync::ShardedCounter read_grants_;
-  sync::ShardedCounter write_grants_;
-  sync::ShardedCounter releases_;
+  obs::Counter& read_grants_;   // owned by the registry (see ctor note)
+  obs::Counter& write_grants_;
+  obs::Counter& releases_;
   FlowShard shards_[kFlowShards];
   int order_ = 0;  ///< construction-phase only (resize before run)
 

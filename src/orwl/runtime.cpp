@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "mem/numa.h"
+#include "obs/trace.h"
 #include "support/assert.h"
 #include "topo/topology.h"
 #include "support/log.h"
@@ -17,7 +18,7 @@ namespace orwl {
 Handle& TaskContext::handle(HandleId h) { return runtime_.handle(h); }
 
 Runtime::Runtime(RuntimeOptions opts)
-    : opts_(opts), arena_({.policy = opts.memory}), stats_(0) {
+    : opts_(opts), arena_({.policy = opts.memory}), stats_(0, metrics_) {
   if (opts_.control == RuntimeOptions::ControlMode::SharedPool) {
     ORWL_CHECK_MSG(opts_.shared_control_threads >= 1,
                    "shared control pool needs at least one thread");
@@ -65,6 +66,12 @@ HandleId Runtime::add_handle(TaskId task, LocationId location, AccessMode mode,
   handles_.push_back(std::make_unique<Handle>(
       id, task, *locations_[static_cast<std::size_t>(location)], mode,
       opts_.wait));
+  // Per-handle observability: wait-length and acquire-latency histograms,
+  // named by handle so the dump/report can attribute contention.
+  const std::string suffix = "/h" + std::to_string(id);
+  handles_.back()->set_metrics(
+      &metrics_.histogram("orwl.wait_rounds" + suffix),
+      &metrics_.histogram("orwl.acquire_ns" + suffix));
   if (prime) prime_order_.push_back(id);
   return id;
 }
@@ -107,12 +114,14 @@ void Runtime::epoch_fire(sync::UniqueLock& lock) {
       static_cast<int>(esync_generation_.load(std::memory_order_relaxed)) + 1;
   const int round = esync_round_;
   lock.unlock();
+  obs::trace(obs::EventKind::EpochBegin, static_cast<std::uint64_t>(epoch));
   std::exception_ptr hook_error;
   try {
     if (epoch_hook_) epoch_hook_(epoch, round);
   } catch (...) {
     hook_error = std::current_exception();
   }
+  obs::trace(obs::EventKind::EpochEnd, static_cast<std::uint64_t>(epoch));
   lock.lock();
   esync_arrived_ = 0;
   // order: release — the bump releases the parked arrivals: it publishes
@@ -189,6 +198,8 @@ int Runtime::place_location_memory(const std::vector<int>& compute_pu,
       loc->storage().interleave(ids);
       ++moved;
     }
+    if (moved > 0)
+      obs::trace(obs::EventKind::PageMove, static_cast<std::uint64_t>(moved));
     return moved;
   }
 
@@ -214,6 +225,8 @@ int Runtime::place_location_memory(const std::vector<int>& compute_pu,
     loc.storage().bind_to_node(node);
     ++moved;
   }
+  if (moved > 0)
+    obs::trace(obs::EventKind::PageMove, static_cast<std::uint64_t>(moved));
   return moved;
 }
 
@@ -248,7 +261,9 @@ std::size_t Runtime::location_size(LocationId loc) const {
 }
 
 void Runtime::on_grant(Request& req) {
-  // Called with the location queue lock held — keep it lean.
+  // Called with the location queue lock held — keep it lean. The trace
+  // hook is one relaxed flag load when tracing is off.
+  obs::trace(obs::EventKind::Grant, static_cast<std::uint64_t>(req.handle));
   stats_.record_grant(req.mode);
   LocationBuffer& loc = *locations_[static_cast<std::size_t>(req.location)];
   // Reads consume the last writer's bytes; a write-after-write moves

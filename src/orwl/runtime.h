@@ -35,6 +35,7 @@
 #include "comm/comm_matrix.h"
 #include "mem/policy.h"
 #include "mem/segment.h"
+#include "obs/metrics.h"
 #include "orwl/events.h"
 #include "orwl/handle.h"
 #include "orwl/instrument.h"
@@ -214,6 +215,12 @@ class Runtime : private GrantSink {
   /// Mutable access for epoch-window management (begin_epoch).
   [[nodiscard]] Instrument& stats() { return stats_; }
 
+  /// This runtime's metric store: the Instrument counters plus the
+  /// per-handle wait-round / acquire-latency histograms. Snapshot it after
+  /// run() (or from an epoch hook) for an exact read.
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+
  private:
   struct TaskRec {
     std::string name;
@@ -247,6 +254,7 @@ class Runtime : private GrantSink {
   std::vector<HandleId> prime_order_;
   std::vector<std::unique_ptr<EventQueue>> shared_queues_;
   std::vector<std::optional<topo::Bitmap>> shared_bindings_;
+  obs::Registry metrics_;  // declared before stats_: Instrument borrows it
   Instrument stats_;
   bool ran_ = false;
 

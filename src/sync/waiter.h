@@ -19,6 +19,7 @@
 // sequence numbers, the epoch generation) are 32-bit.
 
 #include <atomic>
+#include <cstdint>
 #include <thread>
 
 #include "sync/wait_strategy.h"
@@ -38,11 +39,23 @@ inline void cpu_relax() noexcept {
 #endif
 }
 
+/// How long a wait_while_equal call actually waited: spin rounds burnt and
+/// futex parks taken. Filled by the counted overload below; the numbers
+/// feed the per-handle wait-length histograms (obs/) that the self-tuning
+/// wait work consumes.
+struct WaitLength {
+  std::uint32_t rounds = 0;  ///< spin-loop iterations before the word flipped
+  std::uint32_t parks = 0;   ///< futex parks (0 = the spin phase sufficed)
+};
+
 /// Block the calling thread until `word != old` per the strategy; returns
-/// the first differing value (acquire ordering).
+/// the first differing value (acquire ordering). When `len` is non-null it
+/// receives the observed wait length (a fast-path hit leaves it zeroed).
 template <class T>
 [[nodiscard]] T wait_while_equal(const std::atomic<T>& word, T old,
-                                 const WaitStrategy& ws) noexcept {
+                                 const WaitStrategy& ws,
+                                 WaitLength* len) noexcept {
+  if (len != nullptr) *len = {};
   // order: acquire — every load here pairs with the waker's release store
   // so the writes that happened-before it are visible on return (the
   // contract above).
@@ -65,16 +78,24 @@ template <class T>
       for (int round = 0;; ++round) {
         // order: acquire — same pairing as the first load above.
         v = word.load(std::memory_order_acquire);
-        if (v != old) return v;
+        if (v != old) {
+          if (len != nullptr) len->rounds = static_cast<std::uint32_t>(round);
+          return v;
+        }
         spin_round(round);
       }
     case WaitMode::SpinThenPark:
       for (int round = 0; round < ws.spins; ++round) {
         // order: acquire — same pairing as the first load above.
         v = word.load(std::memory_order_acquire);
-        if (v != old) return v;
+        if (v != old) {
+          if (len != nullptr) len->rounds = static_cast<std::uint32_t>(round);
+          return v;
+        }
         spin_round(round);
       }
+      if (len != nullptr)
+        len->rounds = static_cast<std::uint32_t>(ws.spins);
       [[fallthrough]];
     case WaitMode::Block:
       for (;;) {
@@ -83,12 +104,20 @@ template <class T>
         // the release-store's effects.
         v = word.load(std::memory_order_acquire);
         if (v != old) return v;
+        if (len != nullptr) ++len->parks;
         // order: acquire — the wait's own re-check load keeps the same
         // pairing as the loop load above.
         word.wait(old, std::memory_order_acquire);
       }
   }
   return v;  // unreachable
+}
+
+/// Uncounted form: identical semantics, no bookkeeping.
+template <class T>
+[[nodiscard]] T wait_while_equal(const std::atomic<T>& word, T old,
+                                 const WaitStrategy& ws) noexcept {
+  return wait_while_equal(word, old, ws, static_cast<WaitLength*>(nullptr));
 }
 
 /// Wake waiters parked on `word`. The new value must already be stored

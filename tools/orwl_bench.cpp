@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "harness/bench.h"
+#include "obs/export.h"
 #include "support/table.h"
 #include "support/time.h"
 
@@ -61,7 +62,18 @@ int usage(const char* argv0, int code) {
      << "                  side by side\n"
      << "  --no-verify     skip result verification\n"
      << "  --seed N        placement / simulation seed (default 42)\n"
-     << "  --json PATH     write machine-readable results (BENCH_*.json)\n";
+     << "  --json PATH     write machine-readable results (BENCH_*.json)\n"
+     << "  --trace PATH    record a Chrome/Perfetto trace of each case's "
+        "last\n"
+        "                  timed run (open at ui.perfetto.dev); with "
+        "multiple\n"
+        "                  cases the case name is spliced into PATH. "
+        "Recording\n"
+        "                  overhead lands in the measured time — trace OR\n"
+        "                  measure, not both at once\n"
+     << "  --metrics       collect and print the runtime metric registry "
+        "per\n"
+        "                  case (grant counters, wait/latency histograms)\n";
   return code;
 }
 
@@ -151,6 +163,8 @@ int main(int argc, char** argv) {
     else if (a == "--no-verify") base.verify = false;
     else if (a == "--seed") base.seed = static_cast<std::uint64_t>(parse_long(a, need_value(i)));
     else if (a == "--json") json_path = need_value(i);
+    else if (a == "--trace") base.trace_path = need_value(i);
+    else if (a == "--metrics") base.collect_metrics = true;
     else {
       std::cerr << "unknown option '" << a << "'\n";
       return usage(argv[0], 2);
@@ -184,6 +198,13 @@ int main(int argc, char** argv) {
     std::vector<mem::MemoryPolicy> memories = {mem::MemoryPolicy::Heap};
     if (mempol != mem::MemoryPolicy::Heap) memories.push_back(mempol);
 
+    // Several sweeps off the same base (workload / memory / replacement
+    // twins) must not overwrite one --trace file between them.
+    const bool split_traces =
+        workload_names.size() * memories.size() *
+            (replace.enabled() ? 2 : 1) >
+        1;
+
     for (const std::string& name : workload_names) {
       harness::CaseSpec spec = base;
       spec.workload = name;
@@ -195,14 +216,14 @@ int main(int argc, char** argv) {
         spec.memory = memory;
         spec.replacement = {};
         for (const harness::CaseResult& r :
-             harness::run_sweep(spec, policies, backends))
+             harness::run_sweep(spec, policies, backends, split_traces))
           results.push_back(r);
         if (replace.enabled()) {
           // The same grid again with online re-placement, so each
           // adaptive case sits next to its static twin in the output.
           spec.replacement = replace;
           for (const harness::CaseResult& r :
-               harness::run_sweep(spec, policies, backends))
+               harness::run_sweep(spec, policies, backends, split_traces))
             results.push_back(r);
         }
       }
@@ -234,6 +255,15 @@ int main(int argc, char** argv) {
                 << r.verify_error << '\n';
   }
   table.print(std::cout);
+
+  if (base.collect_metrics) {
+    for (const harness::CaseResult& r : results) {
+      if (r.metrics.empty()) continue;
+      std::cout << '\n' << "metrics for " << harness::case_name(r.spec)
+                << ":\n";
+      obs::dump_metrics(std::cout, r.metrics);
+    }
+  }
 
   if (!json_path.empty()) {
     std::cout << '\n';

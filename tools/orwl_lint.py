@@ -47,8 +47,8 @@ import sys
 from typing import Callable, Iterable, List, NamedTuple
 
 MODULES = {
-    "support", "sync", "orwl", "topo", "comm", "treematch", "mem", "place",
-    "sim", "baselines", "lk23", "workloads", "harness", "model",
+    "support", "sync", "orwl", "obs", "topo", "comm", "treematch", "mem",
+    "place", "sim", "baselines", "lk23", "workloads", "harness", "model",
 }
 
 SINK_CONTRACT = "sink-contract: no-queue-reentry"
