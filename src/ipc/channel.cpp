@@ -1,0 +1,228 @@
+#include "ipc/channel.h"
+
+#include <cstring>
+#include <new>
+
+#ifdef __linux__
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+#include "support/assert.h"
+#include "sync/shared_futex.h"
+
+namespace orwl::ipc {
+
+namespace {
+
+/// Segment map: header, ops ring, grant ring, location table, data.
+struct Layout {
+  std::size_t ops_off, grant_off, table_off, data_off, total;
+};
+
+Layout compute_layout(std::uint32_t ring_capacity,
+                      const std::vector<Channel::LocationSpec>& locs) {
+  Layout l{};
+  l.ops_off = align_up(sizeof(SegmentHeader));
+  l.grant_off = l.ops_off + SpscRing::bytes_needed(ring_capacity);
+  l.table_off = l.grant_off + SpscRing::bytes_needed(ring_capacity);
+  l.data_off =
+      l.table_off + align_up(sizeof(LocationEntry) * locs.size());
+  std::size_t cursor = l.data_off;
+  for (const auto& spec : locs) cursor += align_up(spec.bytes);
+  l.total = cursor;
+  return l;
+}
+
+}  // namespace
+
+Channel::Channel(mem::Segment seg, Role role)
+    : seg_(std::move(seg)), role_(role) {}
+
+Channel Channel::create(const CreateOptions& opts) {
+  ORWL_CHECK_MSG(!opts.locations.empty(),
+                 "a channel needs at least one shared location");
+  const Layout l = compute_layout(opts.ring_capacity, opts.locations);
+  Channel ch(mem::Segment::create_shm(opts.shm_name, l.total), Role::Owner);
+  std::byte* base = ch.seg_.bytes().data();
+
+  auto* hdr = new (base) SegmentHeader{};
+  hdr->ring_capacity = opts.ring_capacity;
+  hdr->total_bytes = l.total;
+  hdr->ops_ring_off = l.ops_off;
+  hdr->grant_ring_off = l.grant_off;
+  hdr->loc_table_off = l.table_off;
+  hdr->num_locations = static_cast<std::uint32_t>(opts.locations.size());
+
+  ch.ops_ = SpscRing::create(base + l.ops_off, opts.ring_capacity);
+  ch.grants_ = SpscRing::create(base + l.grant_off, opts.ring_capacity);
+
+  auto* table = reinterpret_cast<LocationEntry*>(base + l.table_off);
+  std::size_t cursor = l.data_off;
+  for (std::size_t i = 0; i < opts.locations.size(); ++i) {
+    LocationEntry& e = table[i];
+    std::strncpy(e.name, opts.locations[i].name.c_str(),
+                 sizeof(e.name) - 1);
+    e.offset = cursor;
+    e.bytes = opts.locations[i].bytes;
+    cursor += align_up(opts.locations[i].bytes);
+  }
+
+  ch.hdr_ = hdr;
+  // Magic and version go in LAST: an attacher that races segment setup
+  // sees a zero magic and is rejected, never a half-built table.
+  hdr->version = kVersion;
+  // order: release — publishes the full layout above before the magic
+  // becomes visible to a concurrently attaching peer.
+  std::atomic_thread_fence(std::memory_order_release);
+  hdr->magic = kMagic;
+  return ch;
+}
+
+Channel Channel::attach(const std::string& shm_name) {
+  Channel ch(mem::Segment::attach_shm(shm_name), Role::Peer);
+  ch.map(/*validate=*/true);
+  return ch;
+}
+
+Channel Channel::attach_fd(int fd) {
+  Channel ch(mem::Segment::attach_shm_fd(fd), Role::Peer);
+  ch.map(/*validate=*/true);
+  return ch;
+}
+
+void Channel::map(bool validate) {
+  std::span<std::byte> bytes = seg_.bytes();
+  ORWL_CHECK_MSG(bytes.size() >= sizeof(SegmentHeader),
+                 "segment truncated: " << bytes.size()
+                                       << " bytes cannot hold the header");
+  std::byte* base = bytes.data();
+  auto* hdr = reinterpret_cast<SegmentHeader*>(base);
+  if (validate) {
+    ORWL_CHECK_MSG(hdr->magic == kMagic,
+                   "segment magic mismatch (got 0x" << std::hex << hdr->magic
+                                                    << "): not an ORWL "
+                                                       "channel, or not "
+                                                       "finished yet");
+    ORWL_CHECK_MSG(hdr->version == kVersion,
+                   "segment layout version " << hdr->version
+                                             << " != expected " << kVersion);
+    ORWL_CHECK_MSG(hdr->total_bytes <= bytes.size(),
+                   "segment truncated: header claims "
+                       << hdr->total_bytes << " bytes, mapping holds "
+                       << bytes.size());
+    ORWL_CHECK_MSG(hdr->ops_ring_off >= sizeof(SegmentHeader) &&
+                       hdr->grant_ring_off > hdr->ops_ring_off &&
+                       hdr->loc_table_off > hdr->grant_ring_off &&
+                       hdr->loc_table_off +
+                               sizeof(LocationEntry) * hdr->num_locations <=
+                           hdr->total_bytes,
+                   "segment header offsets are inconsistent");
+  }
+  hdr_ = hdr;
+  ops_ = SpscRing::attach(base + hdr->ops_ring_off,
+                          hdr->grant_ring_off - hdr->ops_ring_off);
+  grants_ = SpscRing::attach(base + hdr->grant_ring_off,
+                             hdr->loc_table_off - hdr->grant_ring_off);
+  if (validate) {
+    ORWL_CHECK_MSG(ops_.capacity() == hdr->ring_capacity &&
+                       grants_.capacity() == hdr->ring_capacity,
+                   "ring capacity disagrees with the segment header");
+    for (std::uint32_t i = 0; i < hdr->num_locations; ++i) {
+      const LocationEntry& e = entry(i);
+      ORWL_CHECK_MSG(e.offset + e.bytes <= hdr->total_bytes,
+                     "location " << i << " extends past the segment end");
+    }
+  }
+}
+
+const LocationEntry& Channel::entry(std::uint32_t index) const {
+  ORWL_CHECK_MSG(index < num_locations(),
+                 "location index " << index << " out of range");
+  const auto* table = reinterpret_cast<const LocationEntry*>(
+      seg_.bytes().data() + hdr_->loc_table_off);
+  return table[index];
+}
+
+std::uint32_t Channel::num_locations() const { return hdr_->num_locations; }
+
+std::string Channel::location_name(std::uint32_t index) const {
+  const LocationEntry& e = entry(index);
+  return {e.name, strnlen(e.name, sizeof(e.name))};
+}
+
+std::span<std::byte> Channel::location_bytes(std::uint32_t index) {
+  const LocationEntry& e = entry(index);
+  return seg_.bytes().subspan(static_cast<std::size_t>(e.offset),
+                              static_cast<std::size_t>(e.bytes));
+}
+
+ChannelState Channel::state() const {
+  // order: acquire — pairs with set_state's release store: observing a
+  // state also publishes whatever the mover wrote before moving it.
+  return static_cast<ChannelState>(
+      hdr_->state.load(std::memory_order_acquire));
+}
+
+void Channel::set_state(ChannelState s) {
+  // order: acquire — read-side of the transition check only.
+  const auto cur = static_cast<ChannelState>(
+      hdr_->state.load(std::memory_order_acquire));
+  if (cur == ChannelState::Poisoned) return;  // terminal, stay poisoned
+  ORWL_CHECK_MSG(s == ChannelState::Poisoned || s > cur,
+                 "channel state may only advance (have "
+                     << static_cast<int>(cur) << ", asked for "
+                     << static_cast<int>(s) << ")");
+  // order: release — publishes everything this side wrote (primed queues,
+  // segment setup) to the peer's acquire load / parked wait.
+  hdr_->state.store(static_cast<std::uint32_t>(s),
+                    std::memory_order_release);
+  sync::shared_futex_wake_all(hdr_->state);
+}
+
+sync::SharedWait Channel::wait_state(ChannelState at_least,
+                                     std::int64_t timeout_ns,
+                                     const sync::WaitStrategy& ws) {
+  for (;;) {
+    // order: acquire — see state().
+    const std::uint32_t cur = hdr_->state.load(std::memory_order_acquire);
+    const auto cs = static_cast<ChannelState>(cur);
+    if (cs >= at_least || cs == ChannelState::Poisoned)
+      return sync::SharedWait::Changed;
+    if (sync::wait_while_equal_shared(hdr_->state, cur, ws, timeout_ns) ==
+        sync::SharedWait::TimedOut)
+      return sync::SharedWait::TimedOut;
+  }
+}
+
+void Channel::announce_self() {
+#ifdef __linux__
+  const auto pid = static_cast<std::int32_t>(::getpid());
+#else
+  const std::int32_t pid = 1;  // liveness probing is Linux-only anyway
+#endif
+  // order: release — the pid store is part of coming-up; the prober's
+  // acquire load sees a fully attached side.
+  (role_ == Role::Owner ? hdr_->owner_pid : hdr_->peer_pid)
+      .store(pid, std::memory_order_release);
+}
+
+int Channel::peer_pid() const {
+  // order: acquire — pairs with announce_self's release store.
+  return (role_ == Role::Owner ? hdr_->peer_pid : hdr_->owner_pid)
+      .load(std::memory_order_acquire);
+}
+
+bool Channel::peer_alive() const {
+  const int pid = peer_pid();
+  if (pid == 0) return true;  // not announced yet: give it time
+#ifdef __linux__
+  return ::kill(pid, 0) == 0 || errno != ESRCH;
+#else
+  return true;
+#endif
+}
+
+}  // namespace orwl::ipc

@@ -1,0 +1,120 @@
+#pragma once
+// Channel: one shared segment connecting exactly two processes — the
+// OWNER, which hosts every location FIFO and arbitrates grants, and the
+// PEER, whose lock operations are forwarded over the ops ring and whose
+// grants come back over the grant ring (ipc/transport.h pumps both).
+//
+// The segment is created by the owner (Channel::create) and mapped by the
+// peer either by name (Channel::attach) or by inherited file descriptor
+// (Channel::attach_fd — the fork path; memfd segments have no name at
+// all). Attach validates the header field-by-field and throws
+// ContractError on a magic/version/size mismatch: a process must never
+// run the protocol against bytes it does not fully recognize.
+//
+// Failure semantics (step 1 of the cross-address-space plan, see
+// docs/ipc.md): each side registers its pid; every cross-process wait is
+// bounded, and on timeout the survivor probes the other pid. A vanished
+// peer poisons the channel — the protocol is fail-stop, recovery is a
+// later step. That guarantee — bounded-time loud failure, never a hang —
+// is what tests/ipc_test.cpp and tools/check_ipc.py pin down.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ipc/layout.h"
+#include "ipc/ring.h"
+#include "mem/segment.h"
+#include "sync/wait_strategy.h"
+
+namespace orwl::ipc {
+
+class Channel {
+ public:
+  enum class Role : std::uint8_t { Owner, Peer };
+
+  /// One shared location to carve out of the segment.
+  struct LocationSpec {
+    std::string name;
+    std::size_t bytes = 0;
+  };
+
+  struct CreateOptions {
+    /// shm object name ("/orwl-..."); empty = anonymous memfd whose fd is
+    /// inherited across fork (attach_fd on the child side).
+    std::string shm_name;
+    /// Slots per ring. Must be a power of two and at least the number of
+    /// in-flight messages (peer handles for grants; bursts of ops).
+    std::uint32_t ring_capacity = 64;
+    std::vector<LocationSpec> locations;
+  };
+
+  /// Owner side: size, create and lay out the segment (state = Init; call
+  /// set_state(OwnerReady) once the runtime is primed).
+  [[nodiscard]] static Channel create(const CreateOptions& opts);
+
+  /// Peer side: map a named segment and validate it.
+  [[nodiscard]] static Channel attach(const std::string& shm_name);
+
+  /// Peer side: map an inherited fd (fork/memfd path) and validate it.
+  /// The fd is dup()ed; the caller keeps ownership.
+  [[nodiscard]] static Channel attach_fd(int fd);
+
+  Channel(Channel&&) = default;
+  Channel& operator=(Channel&&) = default;
+
+  [[nodiscard]] Role role() const { return role_; }
+  /// Segment fd to pass to a forked child (owner side, memfd channels).
+  [[nodiscard]] int shm_fd() const { return seg_.shm_fd(); }
+
+  // --- locations ---------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t num_locations() const;
+  [[nodiscard]] std::string location_name(std::uint32_t index) const;
+  [[nodiscard]] std::span<std::byte> location_bytes(std::uint32_t index);
+
+  // --- rings (fixed direction, independent of this side's role) ----------
+
+  /// peer -> owner lock operations.
+  [[nodiscard]] SpscRing& ops() { return ops_; }
+  /// owner -> peer grant announcements.
+  [[nodiscard]] SpscRing& grants() { return grants_; }
+
+  // --- handshake / liveness ----------------------------------------------
+
+  [[nodiscard]] ChannelState state() const;
+  /// Publish a new state and wake cross-process waiters. Poisoned is
+  /// terminal; any other transition must move the state forward.
+  void set_state(ChannelState s);
+  /// Park until the state is >= `at_least` (or Poisoned, which also
+  /// returns) or `timeout_ns` passes. Bounded, like every shm wait.
+  [[nodiscard]] sync::SharedWait wait_state(ChannelState at_least,
+                                            std::int64_t timeout_ns,
+                                            const sync::WaitStrategy& ws);
+  /// Mark the channel failed (terminal) and wake everyone.
+  void poison() { set_state(ChannelState::Poisoned); }
+
+  /// Record this process's pid in its role's liveness slot.
+  void announce_self();
+  /// The other side's pid; 0 until it announced itself.
+  [[nodiscard]] int peer_pid() const;
+  /// Probe the other side: true while it has not announced, or while
+  /// kill(pid, 0) says the process still exists.
+  [[nodiscard]] bool peer_alive() const;
+
+ private:
+  Channel(mem::Segment seg, Role role);
+  /// Overlay header/rings/table onto seg_, validating when attaching.
+  void map(bool validate);
+  [[nodiscard]] const LocationEntry& entry(std::uint32_t index) const;
+
+  mem::Segment seg_;
+  SegmentHeader* hdr_ = nullptr;
+  SpscRing ops_;
+  SpscRing grants_;
+  Role role_ = Role::Owner;
+};
+
+}  // namespace orwl::ipc

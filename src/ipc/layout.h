@@ -1,0 +1,112 @@
+#pragma once
+// In-shm layout of an ipc:: channel segment — the ONLY structures
+// both processes interpret byte-for-byte. Everything here must stay
+// address-free (lock-free std::atomic, no pointers, fixed-width fields)
+// and append-only across versions: layout changes bump kVersion and
+// attach rejects a mismatch rather than guessing.
+//
+// Segment map (offsets in the SegmentHeader, all 64-byte aligned):
+//
+//   [SegmentHeader][ops ring: peer->owner][grant ring: owner->peer]
+//   [LocationEntry table][location data...]
+//
+// The header's `state` word is the channel handshake (ChannelState),
+// parked on cross-process through sync/shared_futex.h. Ring memory
+// ordering is the classic SPSC contract: the producer's release store of
+// `tail` publishes the slot payload (and, transitively, every shared-data
+// write sequenced before the push); the consumer's acquire load of `tail`
+// consumes it. docs/ipc.md walks the full visibility chain.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace orwl::ipc {
+
+/// "ORWLSHM" + version-independent sentinel byte. An attach that does not
+/// find this exact value is looking at garbage (or at nothing at all).
+inline constexpr std::uint64_t kMagic = 0x314d48534c57524full;  // "ORWLSHM1"
+/// Layout version; bump on any change to the structs below.
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Alignment of every block inside the segment (one cache line).
+inline constexpr std::size_t kBlockAlign = 64;
+
+inline constexpr std::size_t align_up(std::size_t n) {
+  return (n + (kBlockAlign - 1)) & ~(kBlockAlign - 1);
+}
+
+/// Channel handshake, held in SegmentHeader::state. Strictly increasing
+/// except Poisoned, which any side may jump to at any time.
+enum class ChannelState : std::uint32_t {
+  Init = 0,       ///< owner is still laying out the segment
+  OwnerReady,     ///< owner primed its handles; pump is draining ops
+  PeerAttached,   ///< peer validated the header and said Hello
+  PeerDone,       ///< peer sent Bye; no further ops will arrive
+  Poisoned,       ///< a side detected failure; segment is fail-stop
+};
+
+/// What a WireMsg means.
+enum class MsgKind : std::uint32_t {
+  Hello = 1,     ///< peer->owner: arg = number of peer handle slots
+  Request,       ///< peer->owner: queue a request (arg = AccessMode)
+  Release,       ///< peer->owner: release the granted request
+  ReleaseRenew,  ///< peer->owner: atomic release + renew (iterative step)
+  Grant,         ///< owner->peer: slot's request was granted (arg = ticket)
+  Bye,           ///< peer->owner: clean detach; no ops follow
+};
+
+/// One fixed-size ring message. 24 bytes, no padding holes (asserted), so
+/// a torn or truncated slot cannot smuggle uninitialized memory across
+/// the process boundary.
+struct WireMsg {
+  std::uint64_t arg = 0;    ///< kind-specific payload (ticket, mode, count)
+  std::uint32_t kind = 0;   ///< MsgKind
+  std::uint32_t slot = 0;   ///< peer handle slot the message refers to
+  std::uint32_t loc = 0;    ///< channel location index
+  std::uint32_t pad = 0;    ///< keep zero; reserved
+};
+static_assert(sizeof(WireMsg) == 24, "wire format is fixed at 24 bytes");
+
+/// Header of one SPSC ring block. Head (consumer cursor) and tail
+/// (producer cursor) live on separate cache lines so cross-process
+/// cursor updates do not false-share; `WireMsg slots[capacity]` follows.
+/// Cursors are free-running (wrap at 2^32; index = cursor & (cap - 1)).
+struct RingHeader {
+  std::uint32_t capacity = 0;  ///< slot count, power of two
+  std::uint32_t reserved = 0;
+  alignas(kBlockAlign) std::atomic<std::uint32_t> head{0};
+  alignas(kBlockAlign) std::atomic<std::uint32_t> tail{0};
+};
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "ring cursors must be address-free");
+
+/// One shared location: where its bytes live inside the segment.
+struct LocationEntry {
+  char name[40] = {};        ///< NUL-terminated, truncated if longer
+  std::uint64_t offset = 0;  ///< from segment base
+  std::uint64_t bytes = 0;
+};
+static_assert(sizeof(LocationEntry) == 56, "keep the table entry packed");
+
+/// First bytes of the segment. Validated field-by-field at attach; any
+/// mismatch is a ContractError naming the offending field.
+struct SegmentHeader {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t ring_capacity = 0;   ///< slots per ring
+  std::uint64_t total_bytes = 0;     ///< segment size the creator laid out
+  std::uint64_t ops_ring_off = 0;    ///< peer -> owner
+  std::uint64_t grant_ring_off = 0;  ///< owner -> peer
+  std::uint64_t loc_table_off = 0;
+  std::uint32_t num_locations = 0;
+  std::uint32_t reserved = 0;
+  /// Handshake word (ChannelState); cross-process park point.
+  alignas(kBlockAlign) std::atomic<std::uint32_t> state{0};
+  /// Liveness registry: each side stores its pid when it comes up, so the
+  /// other side can probe kill(pid, 0) when a wait times out.
+  std::atomic<std::int32_t> owner_pid{0};
+  std::atomic<std::int32_t> peer_pid{0};
+};
+
+}  // namespace orwl::ipc

@@ -1,0 +1,130 @@
+#include "ipc/ring.h"
+
+#include <bit>
+#include <chrono>
+#include <thread>
+
+#include "support/assert.h"
+#include "sync/waiter.h"
+
+namespace orwl::ipc {
+
+namespace {
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::size_t SpscRing::bytes_needed(std::uint32_t capacity) {
+  return align_up(sizeof(RingHeader)) +
+         align_up(sizeof(WireMsg) * capacity);
+}
+
+SpscRing SpscRing::create(std::byte* base, std::uint32_t capacity) {
+  ORWL_CHECK_MSG(base != nullptr, "ring needs memory to live in");
+  ORWL_CHECK_MSG(capacity > 0 && std::has_single_bit(capacity),
+                 "ring capacity must be a nonzero power of two, got "
+                     << capacity);
+  auto* hdr = new (base) RingHeader{};
+  hdr->capacity = capacity;
+  auto* slots =
+      reinterpret_cast<WireMsg*>(base + align_up(sizeof(RingHeader)));
+  return {hdr, slots};
+}
+
+SpscRing SpscRing::attach(std::byte* base, std::size_t avail) {
+  ORWL_CHECK_MSG(base != nullptr, "ring attach needs memory");
+  ORWL_CHECK_MSG(avail >= sizeof(RingHeader),
+                 "ring block truncated: " << avail << " bytes cannot hold a "
+                                          << sizeof(RingHeader)
+                                          << "-byte header");
+  // std::launder not needed: the creator placement-new'ed the same type at
+  // the same address, and the other process sees plain object bytes.
+  auto* hdr = reinterpret_cast<RingHeader*>(base);
+  const std::uint32_t cap = hdr->capacity;
+  ORWL_CHECK_MSG(cap > 0 && std::has_single_bit(cap),
+                 "ring header corrupt: capacity " << cap
+                                                  << " is not a power of two");
+  ORWL_CHECK_MSG(bytes_needed(cap) <= avail,
+                 "ring block truncated: capacity " << cap << " needs "
+                                                   << bytes_needed(cap)
+                                                   << " bytes, have "
+                                                   << avail);
+  auto* slots =
+      reinterpret_cast<WireMsg*>(base + align_up(sizeof(RingHeader)));
+  return {hdr, slots};
+}
+
+std::uint32_t SpscRing::size() const {
+  // order: acquire on tail — a consumer calling size() may pop what it
+  // counted; the producer-side head load needs no payload (relaxed).
+  const std::uint32_t t = hdr_->tail.load(std::memory_order_acquire);
+  const std::uint32_t h = hdr_->head.load(std::memory_order_relaxed);
+  return t - h;
+}
+
+bool SpscRing::try_push(const WireMsg& msg) {
+  // order: relaxed — only this producer advances tail.
+  const std::uint32_t t = hdr_->tail.load(std::memory_order_relaxed);
+  // order: acquire — pairs with the consumer's release store of head,
+  // ensuring the slot we are about to overwrite was fully consumed.
+  const std::uint32_t h = hdr_->head.load(std::memory_order_acquire);
+  if (t - h == hdr_->capacity) return false;  // full
+  slots_[t & (hdr_->capacity - 1)] = msg;
+  // order: release — publishes the slot write (and every shared write
+  // sequenced before this push) to the consumer's acquire load of tail.
+  hdr_->tail.store(t + 1, std::memory_order_release);
+  sync::shared_futex_wake_all(hdr_->tail);
+  return true;
+}
+
+sync::SharedWait SpscRing::push_wait(const WireMsg& msg,
+                                     std::int64_t timeout_ns) {
+  const std::int64_t deadline = now_ns() + timeout_ns;
+  int round = 0;
+  while (!try_push(msg)) {
+    if (now_ns() >= deadline) return sync::SharedWait::TimedOut;
+    // Full means the consumer is behind by a whole ring — spin briefly,
+    // then yield; no futex park (the consumer does not wake producers).
+    if (round++ < sync::WaitStrategy::kRelaxRounds)
+      sync::cpu_relax();
+    else
+      std::this_thread::yield();
+  }
+  return sync::SharedWait::Changed;
+}
+
+bool SpscRing::try_pop(WireMsg& out) {
+  // order: relaxed — only this consumer advances head.
+  const std::uint32_t h = hdr_->head.load(std::memory_order_relaxed);
+  // order: acquire — pairs with the producer's release store of tail; see
+  // the visibility contract in ring.h.
+  const std::uint32_t t = hdr_->tail.load(std::memory_order_acquire);
+  if (t == h) return false;  // empty
+  out = slots_[h & (hdr_->capacity - 1)];
+  // order: release — hands the slot back to the producer (its acquire
+  // load of head in try_push).
+  hdr_->head.store(h + 1, std::memory_order_release);
+  return true;
+}
+
+sync::SharedWait SpscRing::pop_wait(WireMsg& out, std::int64_t timeout_ns,
+                                    const sync::WaitStrategy& ws) {
+  if (try_pop(out)) return sync::SharedWait::Changed;
+  const std::int64_t deadline = now_ns() + timeout_ns;
+  for (;;) {
+    // order: relaxed — the park below re-reads with acquire; this load
+    // only picks the value to park against.
+    const std::uint32_t t = hdr_->tail.load(std::memory_order_relaxed);
+    if (try_pop(out)) return sync::SharedWait::Changed;
+    const std::int64_t left = deadline - now_ns();
+    if (left <= 0) return sync::SharedWait::TimedOut;
+    (void)sync::wait_while_equal_shared(hdr_->tail, t, ws, left);
+  }
+}
+
+}  // namespace orwl::ipc

@@ -1,0 +1,81 @@
+#pragma once
+// SpscRing: a fixed-slot single-producer / single-consumer message ring
+// living in shared memory, parked on cross-process with sync/shared_futex.
+//
+// The ring is a non-owning VIEW: create()/attach() overlay a RingHeader +
+// slot array onto caller-provided bytes (a block of an ipc::Channel
+// segment, or a heap buffer in tests). One process pushes, the other
+// pops; the roles are fixed per ring, which is why a channel carries two.
+//
+// Visibility contract (the one sentence everything hangs on): the
+// producer writes the slot, then stores `tail` with release and wakes the
+// shared futex; the consumer's acquire load of `tail` therefore observes
+// the slot payload AND every shared-memory write the producer sequenced
+// before the push — this is how location buffer writes travel with the
+// grant messages that license reading them.
+//
+// Waits are always bounded (shared_futex.h rationale: a dead peer wakes
+// nobody); pop_wait returning TimedOut is the caller's cue to probe peer
+// liveness and re-arm.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "ipc/layout.h"
+#include "sync/shared_futex.h"
+#include "sync/wait_strategy.h"
+
+namespace orwl::ipc {
+
+class SpscRing {
+ public:
+  /// Bytes a ring of `capacity` slots occupies (header + slots, aligned).
+  [[nodiscard]] static std::size_t bytes_needed(std::uint32_t capacity);
+
+  /// Overlay a new ring onto `base` (zeroed, kBlockAlign-aligned, at
+  /// least bytes_needed(capacity) long). `capacity` must be a nonzero
+  /// power of two.
+  [[nodiscard]] static SpscRing create(std::byte* base,
+                                       std::uint32_t capacity);
+
+  /// Overlay an EXISTING ring. Validates the stored capacity (nonzero
+  /// power of two, slots within `avail` bytes) and throws ContractError
+  /// on anything suspicious — a truncated or scribbled-on segment must
+  /// fail here, not corrupt the protocol later.
+  [[nodiscard]] static SpscRing attach(std::byte* base, std::size_t avail);
+
+  SpscRing() = default;
+
+  [[nodiscard]] std::uint32_t capacity() const { return hdr_->capacity; }
+  /// Messages currently buffered (racy snapshot; exact for the caller's
+  /// own role: the producer can only under-, the consumer over-estimate).
+  [[nodiscard]] std::uint32_t size() const;
+
+  /// Producer: append `msg`; false when the ring is full. Wakes the
+  /// consumer on success.
+  bool try_push(const WireMsg& msg);
+
+  /// Producer: try_push with a bounded spin/yield retry. A correctly
+  /// sized ring (capacity >= outstanding requests) never fills, so
+  /// exhausting `timeout_ns` means the consumer is gone or wedged.
+  [[nodiscard]] sync::SharedWait push_wait(const WireMsg& msg,
+                                           std::int64_t timeout_ns);
+
+  /// Consumer: pop into `out`; false when empty.
+  bool try_pop(WireMsg& out);
+
+  /// Consumer: pop, parking on the tail word up to `timeout_ns`.
+  /// Changed => `out` holds a message; TimedOut => probe liveness, re-arm.
+  [[nodiscard]] sync::SharedWait pop_wait(WireMsg& out,
+                                          std::int64_t timeout_ns,
+                                          const sync::WaitStrategy& ws);
+
+ private:
+  SpscRing(RingHeader* hdr, WireMsg* slots) : hdr_(hdr), slots_(slots) {}
+
+  RingHeader* hdr_ = nullptr;
+  WireMsg* slots_ = nullptr;
+};
+
+}  // namespace orwl::ipc

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "mem/policy.h"
@@ -32,9 +33,11 @@ inline constexpr std::size_t kSegmentAlignment = 64;
 class Segment {
  public:
   enum class Backing {
-    None,  ///< empty (default-constructed or zero bytes)
-    Heap,  ///< aligned operator new
-    Mmap,  ///< anonymous private mapping (NUMA page ops reach the kernel)
+    None,      ///< empty (default-constructed or zero bytes)
+    Heap,      ///< aligned operator new
+    Mmap,      ///< anonymous private mapping (NUMA page ops reach the kernel)
+    Shm,       ///< shared mapping of a shm_open/memfd object (ipc transport)
+    External,  ///< non-owning view into memory someone else owns
   };
 
   Segment() = default;
@@ -70,6 +73,38 @@ class Segment {
   /// semantics as bind_to_node.
   bool interleave(const std::vector<int>& node_ids);
 
+  // --- cross-address-space backings (the ipc:: transport seam) -------------
+
+  /// Create a shared, zero-filled shm object of `bytes` and map it
+  /// (MAP_SHARED, page-aligned). `name` empty -> an anonymous memfd whose
+  /// fd the creating process passes to children (fork inheritance); a
+  /// name like "/orwl-xyz" -> shm_open(O_CREAT|O_EXCL), unlinked again
+  /// when the CREATING process destroys the segment (a fork-inherited
+  /// copy destroyed in a child leaves the name alone). Linux only; throws
+  /// ContractError elsewhere or on failure.
+  [[nodiscard]] static Segment create_shm(const std::string& name,
+                                          std::size_t bytes);
+
+  /// Map an existing named shm object. `expect_bytes` nonzero -> the
+  /// object must be at least that large (attach-time truncation check).
+  [[nodiscard]] static Segment attach_shm(const std::string& name,
+                                          std::size_t expect_bytes = 0);
+
+  /// Map an shm object by file descriptor (the memfd handed across a
+  /// fork). The fd is dup()ed; the caller keeps ownership of `fd`.
+  [[nodiscard]] static Segment attach_shm_fd(int fd,
+                                             std::size_t expect_bytes = 0);
+
+  /// Non-owning window into memory owned elsewhere (a slice of a shared
+  /// segment). The destructor releases nothing; the underlying mapping
+  /// must outlive the view.
+  [[nodiscard]] static Segment external_view(std::byte* data,
+                                             std::size_t bytes);
+
+  /// The shm object's file descriptor (Backing::Shm only, else -1) — pass
+  /// it to a forked child for attach_shm_fd.
+  [[nodiscard]] int shm_fd() const { return fd_; }
+
  private:
   friend class Arena;
   std::byte* data_ = nullptr;
@@ -78,6 +113,9 @@ class Segment {
   int target_node_ = -1;
   bool interleaved_ = false;
   bool placed_ = false;
+  int fd_ = -1;            ///< owned shm fd (Backing::Shm)
+  std::string shm_name_;   ///< non-empty: unlink on destroy (creator only)
+  int creator_pid_ = -1;   ///< pid that created the named object
 };
 
 /// Segment factory for one MemoryPolicy.

@@ -46,6 +46,8 @@ enum class EventKind : std::uint8_t {
   PageMove,       ///< location pages re-targeted         (arg = locations)
   ComputeBegin,   ///< sim: analytic segment starts       (arg = segment)
   ComputeEnd,     ///< sim: analytic segment ends         (arg = segment)
+  RingPublish,    ///< ipc: message pushed into a shm ring (arg = msg kind)
+  RingDrain,      ///< ipc: messages drained from a ring   (arg = count)
   kCount,
 };
 

@@ -14,6 +14,11 @@ using HandleId = int;
 /// Per-location monotonically increasing request ticket.
 using Ticket = std::uint64_t;
 
+/// Sentinel TaskId marking a request proxied for a peer process (the
+/// ipc:: transport). A grant for such a request must never be routed to
+/// the local task table — the Runtime hands it to its remote sink instead.
+inline constexpr TaskId kRemoteOwner = -2;
+
 /// Access mode of a request. Consecutive Read requests at the head of a
 /// location's FIFO are granted together; Write is exclusive.
 enum class AccessMode : std::uint8_t { Read, Write };

@@ -27,7 +27,7 @@ void Handle::request() {
   ORWL_CHECK_MSG(current().state.load(std::memory_order_relaxed) ==
                      RequestState::Inactive,
                  "handle " << id_ << " already has a request in flight");
-  location_.queue().insert(current());
+  location_.port().insert(current());
 }
 
 namespace {
@@ -94,7 +94,7 @@ void Handle::release() {
   ORWL_CHECK_MSG(acquired_, "release() without acquire()");
   acquired_ = false;
   obs::trace(obs::EventKind::Release, static_cast<std::uint64_t>(id_));
-  location_.queue().release(current());
+  location_.port().release(current());
 }
 
 void Handle::release_and_renew() {
@@ -106,7 +106,7 @@ void Handle::release_and_renew() {
   Request& cur = current();
   Request& next = spare();
   active_ ^= 1;
-  location_.queue().release_and_renew(cur, next);
+  location_.port().release_and_renew(cur, next);
 }
 
 }  // namespace orwl

@@ -49,6 +49,14 @@ class LocationBuffer {
   [[nodiscard]] FifoQueue& queue() { return queue_; }
   [[nodiscard]] const FifoQueue& queue() const { return queue_; }
 
+  /// Where this location's handles send their lock operations. Defaults
+  /// to the local FifoQueue; a cross-address-space peer points it at an
+  /// ipc::RemotePort that forwards the operations to the hosting process.
+  [[nodiscard]] RequestPort& port() { return *port_; }
+  /// Swap the port (single-threaded setup, before any handle operates).
+  /// `port` is non-owning and must outlive the buffer's use.
+  void set_port(RequestPort* port) { port_ = port; }
+
   /// Task that last held a Write grant; -1 initially. Used by the
   /// instrumentation to attribute read bytes to a producer.
   [[nodiscard]] TaskId last_writer() const {
@@ -66,6 +74,7 @@ class LocationBuffer {
   std::string name_;
   mem::Segment storage_;
   FifoQueue queue_;
+  RequestPort* port_ = &queue_;
   std::atomic<TaskId> last_writer_{-1};
 };
 

@@ -104,7 +104,24 @@ class GrantFn final : public GrantSink {
   F fn_;
 };
 
-class FifoQueue {
+/// Where a Handle sends its lock operations. The in-process case is the
+/// location's own FifoQueue; a cross-address-space location substitutes a
+/// port that forwards the operations to the process hosting the queue
+/// (ipc::RemotePort) — the GrantSink split covers the grant direction,
+/// this interface covers the request direction. Implementations must keep
+/// the FifoQueue semantics: release_and_renew inserts `next` before
+/// `current`'s slot is given up.
+class RequestPort {
+ public:
+  virtual void insert(Request& req) = 0;
+  virtual void release(Request& req) = 0;
+  virtual void release_and_renew(Request& current, Request& next) = 0;
+
+ protected:
+  ~RequestPort() = default;
+};
+
+class FifoQueue : public RequestPort {
  public:
   /// `sink` is non-owning and must outlive the queue.
   explicit FifoQueue(GrantSink* sink);
@@ -114,17 +131,17 @@ class FifoQueue {
 
   /// Append a request. The request must be Inactive. May grant it (and
   /// announce the grant) immediately when it lands in the head run.
-  void insert(Request& req) ORWL_EXCLUDES(mu_);
+  void insert(Request& req) override ORWL_EXCLUDES(mu_);
 
   /// Release a Granted request: remove it and advance the grant frontier,
   /// announcing any newly granted requests. Throws ContractError if the
   /// request is not currently granted.
-  void release(Request& req) ORWL_EXCLUDES(mu_);
+  void release(Request& req) override ORWL_EXCLUDES(mu_);
 
   /// Atomically insert `next` and release `current` — the iterative ORWL
   /// step: the renewal lands in the FIFO *before* the lock is given up, so
   /// the cyclic per-iteration order is preserved forever.
-  void release_and_renew(Request& current, Request& next)
+  void release_and_renew(Request& current, Request& next) override
       ORWL_EXCLUDES(mu_);
 
   /// Number of queued (Requested + Granted) requests.

@@ -42,6 +42,39 @@ LocationId Runtime::add_location(std::size_t bytes, std::string name) {
   return id;
 }
 
+LocationId Runtime::add_shared_location(std::span<std::byte> bytes,
+                                        std::string name) {
+  ORWL_CHECK_MSG(!ran_, "cannot add locations after run()");
+  ORWL_CHECK_MSG(opts_.transport == RuntimeOptions::Transport::Shm,
+                 "shared locations need Transport::Shm");
+  const LocationId id = static_cast<LocationId>(locations_.size());
+  if (name.empty()) name = "shloc" + std::to_string(id);
+  locations_.push_back(std::make_unique<LocationBuffer>(
+      id, mem::Segment::external_view(bytes.data(), bytes.size()),
+      std::move(name), static_cast<GrantSink*>(this)));
+  return id;
+}
+
+void Runtime::set_location_port(LocationId loc, RequestPort* port) {
+  ORWL_CHECK_MSG(!ran_, "cannot reroute a location after run()");
+  ORWL_CHECK_MSG(opts_.transport == RuntimeOptions::Transport::Shm,
+                 "location ports need Transport::Shm");
+  ORWL_CHECK_MSG(loc >= 0 && loc < num_locations(), "unknown location " << loc);
+  ORWL_CHECK_MSG(port != nullptr, "location port must not be null");
+  locations_[static_cast<std::size_t>(loc)]->set_port(port);
+}
+
+FifoQueue& Runtime::location_queue(LocationId loc) {
+  ORWL_CHECK_MSG(loc >= 0 && loc < num_locations(), "unknown location " << loc);
+  return locations_[static_cast<std::size_t>(loc)]->queue();
+}
+
+void Runtime::set_remote_sink(GrantSink* sink) {
+  ORWL_CHECK_MSG(opts_.transport == RuntimeOptions::Transport::Shm,
+                 "a remote sink needs Transport::Shm");
+  remote_sink_ = sink;
+}
+
 TaskId Runtime::add_task(std::string name, TaskFn fn) {
   ORWL_CHECK_MSG(!ran_, "cannot add tasks after run()");
   ORWL_CHECK_MSG(fn != nullptr, "task body must be callable");
@@ -266,12 +299,28 @@ void Runtime::on_grant(Request& req) {
   obs::trace(obs::EventKind::Grant, static_cast<std::uint64_t>(req.handle));
   stats_.record_grant(req.mode);
   LocationBuffer& loc = *locations_[static_cast<std::size_t>(req.location)];
+  if (req.owner == kRemoteOwner) {
+    // Proxied peer request: the owner is not a local task, so neither the
+    // task table nor the flow shards may be indexed with it — hand the
+    // grant to the transport sink, which publishes it into the shm ring.
+    if (req.mode == AccessMode::Write) loc.set_last_writer(kRemoteOwner);
+    ORWL_ASSERT_MSG(remote_sink_ != nullptr,
+                    "remote-owned grant with no remote sink installed");
+    remote_sink_->on_grant(req);
+    return;
+  }
   // Reads consume the last writer's bytes; a write-after-write moves
   // ownership of the buffer — either way the flow edge is the same.
+  // (record_flow ignores negative producers, so a remote last writer
+  // simply drops the edge — cross-process flows are the transport's
+  // metrics, not this Instrument's.)
   if (opts_.record_flows)
     stats_.record_flow(loc.last_writer(), req.owner, loc.size());
   if (req.mode == AccessMode::Write) loc.set_last_writer(req.owner);
+  route_grant(req);
+}
 
+void Runtime::route_grant(Request& req) {
   switch (opts_.control) {
     case RuntimeOptions::ControlMode::Direct:
       Handle::deliver_grant(req);

@@ -82,6 +82,15 @@ struct RuntimeOptions {
   /// planned writers' nodes / interleaves across nodes. Falls back to the
   /// heap on hosts without the NUMA syscalls.
   mem::MemoryPolicy memory = mem::MemoryPolicy::Heap;
+
+  /// How this runtime reaches its peers (cross-address-space ORWL).
+  /// Inproc: every task lives in this process (the default; nothing
+  /// changes). Shm: some locations live in a shared mapping and an ipc::
+  /// endpoint (OwnerEndpoint or PeerEndpoint) is wired onto this runtime —
+  /// the option is carried through RuntimeBackend so programs select the
+  /// transport the same way they select control/memory policy.
+  enum class Transport : std::uint8_t { Inproc, Shm };
+  Transport transport = Transport::Inproc;
 };
 
 /// The Runtime itself is the GrantSink of every location FIFO: a grant
@@ -108,6 +117,36 @@ class Runtime : private GrantSink {
   /// order.
   HandleId add_handle(TaskId task, LocationId location, AccessMode mode,
                       bool prime = true);
+
+  // --- cross-address-space locations (RuntimeOptions::transport) ----------
+
+  /// Create a location whose bytes live in memory owned elsewhere — a
+  /// window into an ipc:: shared segment. The mapping must outlive the
+  /// runtime; the FIFO (and grant arbitration) still live here, in the
+  /// process that calls this. Requires Transport::Shm.
+  LocationId add_shared_location(std::span<std::byte> bytes,
+                                 std::string name = {});
+
+  /// Redirect a location's handle operations to `port` (peer side of the
+  /// shm transport: operations are forwarded to the hosting process).
+  /// Single-threaded setup only, before run(). Requires Transport::Shm.
+  void set_location_port(LocationId loc, RequestPort* port);
+
+  /// The location's local FIFO (the ipc:: owner endpoint inserts proxied
+  /// peer requests into it directly).
+  [[nodiscard]] FifoQueue& location_queue(LocationId loc);
+
+  /// Sink that receives grants whose request is owned by a remote peer
+  /// (Request::owner == kRemoteOwner) instead of a local task — the
+  /// ipc::RemoteGrantSink publishing into the shm ring. Non-owning; must
+  /// outlive run(). Requires Transport::Shm.
+  void set_remote_sink(GrantSink* sink);
+
+  /// Deliver one granted request to its local waiter per this runtime's
+  /// ControlMode (the delivery half of on_grant, minus stats). Used by the
+  /// ipc:: peer pump to hand ring grants to parked handles; `req.owner`
+  /// must be a local task.
+  void route_grant(Request& req);
 
   // --- placement hooks ---------------------------------------------------
 
@@ -256,6 +295,7 @@ class Runtime : private GrantSink {
   std::vector<std::optional<topo::Bitmap>> shared_bindings_;
   obs::Registry metrics_;  // declared before stats_: Instrument borrows it
   Instrument stats_;
+  GrantSink* remote_sink_ = nullptr;
   bool ran_ = false;
 
   // Epoch barrier state, guarded by esync_mu_ — except the generation

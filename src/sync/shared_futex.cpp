@@ -1,0 +1,142 @@
+#include "sync/shared_futex.h"
+
+#include <chrono>
+#include <thread>
+
+#include "sync/waiter.h"
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+#endif
+
+namespace orwl::sync {
+
+namespace {
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#ifdef __linux__
+/// One FUTEX_WAIT round (shared — no FUTEX_PRIVATE_FLAG). Returns false
+/// only on genuine timeout; value changes, spurious wakes and EINTR all
+/// return true and let the caller re-check.
+bool futex_wait_once(const std::atomic<std::uint32_t>& word,
+                     std::uint32_t old, std::int64_t timeout_ns) noexcept {
+  timespec ts;
+  timespec* tsp = nullptr;
+  if (timeout_ns > 0) {
+    ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000);
+    ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000);
+    tsp = &ts;
+  }
+  // The kernel compares the 32-bit word at this address itself; the atomic
+  // wrapper is layout-identical to its value (asserted in the header).
+  const long rc =
+      ::syscall(SYS_futex,
+                reinterpret_cast<const std::uint32_t*>(&word), FUTEX_WAIT,
+                old, tsp, nullptr, 0);
+  return !(rc == -1 && errno == ETIMEDOUT);
+}
+#endif
+
+}  // namespace
+
+bool shared_futex_available() noexcept {
+#ifdef __linux__
+  return true;
+#else
+  return false;
+#endif
+}
+
+SharedWait shared_futex_wait(const std::atomic<std::uint32_t>& word,
+                             std::uint32_t old,
+                             std::int64_t timeout_ns) noexcept {
+  const std::int64_t deadline = now_ns() + timeout_ns;
+  for (;;) {
+    // order: acquire — pairs with the waker's release store, publishing
+    // whatever the store protects (ring slots, channel state) on return.
+    if (word.load(std::memory_order_acquire) != old) return SharedWait::Changed;
+    const std::int64_t left = deadline - now_ns();
+    if (left <= 0) return SharedWait::TimedOut;
+#ifdef __linux__
+    if (!futex_wait_once(word, old, left)) {
+      // Timed out inside the kernel — one final re-check closes the race
+      // where the word changed while the syscall was expiring.
+      // order: acquire — same pairing as above.
+      return word.load(std::memory_order_acquire) != old
+                 ? SharedWait::Changed
+                 : SharedWait::TimedOut;
+    }
+#else
+    // Fallback park: cooperative yield, bounded by the deadline re-check
+    // above. Correct on any host, just not syscall-cheap.
+    std::this_thread::yield();
+#endif
+  }
+}
+
+void shared_futex_wake_all(std::atomic<std::uint32_t>& word) noexcept {
+#ifdef __linux__
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAKE,
+            INT32_MAX, nullptr, nullptr, 0);
+#else
+  (void)word;  // fallback waiters poll; nothing to kick
+#endif
+}
+
+SharedWait wait_while_equal_shared(const std::atomic<std::uint32_t>& word,
+                                   std::uint32_t old, const WaitStrategy& ws,
+                                   std::int64_t timeout_ns,
+                                   std::uint32_t* out) noexcept {
+  const std::int64_t deadline = now_ns() + timeout_ns;
+  const auto finish = [&](std::uint32_t v, SharedWait r) {
+    if (out != nullptr) *out = v;
+    return r;
+  };
+  // order: acquire — every load pairs with the waker's release store (the
+  // waiter.h contract, shared flavour).
+  std::uint32_t v = word.load(std::memory_order_acquire);
+  if (v != old) return finish(v, SharedWait::Changed);
+
+  // Spin phase per the strategy — identical shape to waiter.h (relax
+  // rounds, then yields), except the deadline is honoured throughout.
+  const int spins = ws.mode == WaitMode::Spin       ? INT32_MAX
+                    : ws.mode == WaitMode::SpinThenPark ? ws.spins
+                                                        : 0;
+  for (int round = 0; round < spins; ++round) {
+    // order: acquire — same pairing as above.
+    v = word.load(std::memory_order_acquire);
+    if (v != old) return finish(v, SharedWait::Changed);
+    if (now_ns() >= deadline) return finish(v, SharedWait::TimedOut);
+    if (round < WaitStrategy::kRelaxRounds)
+      cpu_relax();
+    else
+      std::this_thread::yield();
+  }
+
+  for (;;) {
+    const std::int64_t left = deadline - now_ns();
+    if (left <= 0) {
+      // order: acquire — final observation for the caller.
+      v = word.load(std::memory_order_acquire);
+      return finish(v, v != old ? SharedWait::Changed : SharedWait::TimedOut);
+    }
+    if (shared_futex_wait(word, old, left) == SharedWait::Changed) {
+      // order: acquire — consume the new value after the park reported a
+      // change.
+      return finish(word.load(std::memory_order_acquire),
+                    SharedWait::Changed);
+    }
+  }
+}
+
+}  // namespace orwl::sync

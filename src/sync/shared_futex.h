@@ -1,0 +1,67 @@
+#pragma once
+// Process-SHARED futex waits for words living in MAP_SHARED pages.
+//
+// The core waiter (sync/waiter.h) parks through C++20 std::atomic::wait,
+// which libstdc++ implements with PRIVATE futexes — matched by (mm,
+// address), so a wake issued in another process NEVER reaches a waiter
+// parked here, even when both map the same physical page. Every
+// cross-address-space parking point (the ipc:: grant rings, the channel
+// state words) must therefore go through this header instead: raw
+// SYS_futex without FUTEX_PRIVATE_FLAG, matched by the underlying page.
+// tests/sync_test.cpp guards exactly this assumption with a fork-based
+// case.
+//
+// Contract mirrors waiter.h, with two deliberate differences:
+//  * the word must be a 32-bit atomic in shared memory (futexes are
+//    32-bit; std::atomic<uint32_t> is address-free on every supported
+//    target, asserted below);
+//  * every wait takes a timeout. Cross-process peers can die without
+//    unparking anyone — kernel-side robust wakeup does not exist for
+//    plain futex words — so an unbounded shared wait is a hang waiting to
+//    happen. Callers poll peer liveness between expiries (ipc::Channel).
+//
+// On non-Linux hosts the park degrades to a yield loop with the same
+// timeout semantics (correct, just not cheap); shared_futex_available()
+// reports which flavour is live.
+
+#include <atomic>
+#include <cstdint>
+
+#include "sync/wait_strategy.h"
+
+namespace orwl::sync {
+
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "shared-memory words must be address-free atomics");
+
+/// True when parks use a real process-shared futex (Linux); false when the
+/// fallback yield loop is in force.
+[[nodiscard]] bool shared_futex_available() noexcept;
+
+/// Outcome of a bounded shared wait.
+enum class SharedWait : std::uint8_t {
+  Changed,   ///< the word no longer holds the old value
+  TimedOut,  ///< the deadline passed with the word unchanged
+};
+
+/// Park until `word != old` or `timeout_ns` elapses. Absorbs spurious and
+/// EINTR wakes. The waker must store the new value (release) and then call
+/// shared_futex_wake_all — exactly the waiter.h discipline, shared flavour.
+SharedWait shared_futex_wait(const std::atomic<std::uint32_t>& word,
+                             std::uint32_t old,
+                             std::int64_t timeout_ns) noexcept;
+
+/// Wake every process parked on `word` (FUTEX_WAKE, shared).
+void shared_futex_wake_all(std::atomic<std::uint32_t>& word) noexcept;
+
+/// Bounded cross-process wait_while_equal: spin per the strategy, then
+/// park on the shared futex, re-arming until `timeout_ns` is spent.
+/// Returns the first differing value (acquire ordering, same publication
+/// contract as waiter.h) or TimedOut with the word unchanged. `out` (may
+/// be null) receives the last observed value either way.
+SharedWait wait_while_equal_shared(const std::atomic<std::uint32_t>& word,
+                                   std::uint32_t old, const WaitStrategy& ws,
+                                   std::int64_t timeout_ns,
+                                   std::uint32_t* out = nullptr) noexcept;
+
+}  // namespace orwl::sync

@@ -25,6 +25,7 @@
 //     result fails the test with the offending schedule trace
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -38,14 +39,19 @@ namespace orwl::model {
 /// Per-location recording sink. Checks FIFO order + single announcement at
 /// announcement time; exclusivity is checked against the queue snapshot
 /// after every protocol step.
-// sink-contract: no-queue-reentry — records the ticket and returns; never
-// calls back into the queue.
+// sink-contract: no-queue-reentry — records the ticket and returns (the
+// optional forward hook publishes to a model ring deque; it must not call
+// back into the queue either).
 class RecordingSink final : public GrantSink {
  public:
   void on_grant(Request& req) override {
     grants.push_back(req.ticket);
+    if (forward) forward(req);
   }
   std::vector<Ticket> grants;  ///< announcement order
+  /// Remote world: mirrors ipc::RemoteGrantSink — grants whose request is
+  /// remote-owned are additionally published onto the model grant ring.
+  std::function<void(const Request&)> forward;
 };
 
 /// A location under test: real queue + recording sink.
@@ -119,6 +125,10 @@ struct TaskSpec {
   };
   std::vector<Access> accesses;
   int rounds = 2;
+  /// run_remote_world only: this task lives in the "peer process" — its
+  /// handle operations cross the model ops ring and its grants come back
+  /// over the model grant ring (run_world ignores the flag).
+  bool remote = false;
 };
 
 /// Outcome of one explored schedule.
@@ -133,5 +143,18 @@ struct WorldResult {
 /// (format_trace in model/vthread.h renders a failed schedule.)
 WorldResult run_world(const std::vector<TaskSpec>& tasks, int num_locations,
                       Chooser& chooser);
+
+/// The cross-address-space seam (src/ipc/transport.h) as a model: tasks
+/// with `remote = true` route request / release / release_and_renew
+/// through an explicit ops-ring deque drained by an owner-pump vthread
+/// into kRemoteOwner proxy requests on the real queues, and their grants
+/// come back through a grant-ring deque drained by a peer-pump vthread —
+/// so the ring's publish/consume window is an explicit schedule point and
+/// the chooser can interleave pump steps against every protocol step.
+/// Priming mirrors the transport's wait_peer_attached barrier: every
+/// initial request (local and remote) is drained into the FIFOs before
+/// any task or pump vthread takes a step. Invariants are run_world's.
+WorldResult run_remote_world(const std::vector<TaskSpec>& tasks,
+                             int num_locations, Chooser& chooser);
 
 }  // namespace orwl::model

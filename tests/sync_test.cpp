@@ -14,11 +14,19 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <new>
 #include <thread>
 #include <vector>
 
+#ifdef __linux__
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include "model/vthread.h"
 #include "orwl/queue.h"
+#include "sync/shared_futex.h"
 #include "support/assert.h"
 #include "support/rng.h"
 #include "sync/sharded_counter.h"
@@ -493,6 +501,69 @@ TEST(LostWakeupRegression, FutexRaceStress) {
     notifier.join();
   }
 }
+
+// ---------------------------------------------------------------------------
+// Process-shared futex (sync/shared_futex.h): the cross-address-space
+// parking point the ipc:: transport stands on. The core waiter's PRIVATE
+// futexes cannot be woken from another process — these cases prove the
+// shared flavour can, with the waker in a forked child and the futex word
+// in a MAP_SHARED page.
+// ---------------------------------------------------------------------------
+
+#ifdef __linux__
+
+TEST(SharedFutex, RealFutexBacksLinuxBuilds) {
+  // The yield fallback would still be correct but silently slow — on
+  // Linux the real process-shared futex must be in force.
+  EXPECT_TRUE(sync::shared_futex_available());
+}
+
+TEST(SharedFutex, CrossProcessWakeReachesParkedParent) {
+  // Word lives in an anonymous MAP_SHARED page; the parent parks on it,
+  // the forked child publishes a new value and wakes. With PRIVATE
+  // futexes (the sync/waiter.h flavour) the wake would never arrive and
+  // the bounded wait would time out — so Changed here is exactly the
+  // property the shm transport needs.
+  void* page = ::mmap(nullptr, sizeof(std::atomic<std::uint32_t>),
+                      PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS,
+                      -1, 0);
+  ASSERT_NE(page, MAP_FAILED);
+  auto* word = new (page) std::atomic<std::uint32_t>(0);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // order: release — publishes the value the parent's acquire observes.
+    word->store(1, std::memory_order_release);
+    sync::shared_futex_wake_all(*word);
+    ::_exit(0);
+  }
+
+  std::uint32_t seen = 0;
+  const auto res = sync::wait_while_equal_shared(
+      *word, 0u, sync::WaitStrategy::block(), 10'000'000'000, &seen);
+  EXPECT_EQ(res, sync::SharedWait::Changed);
+  EXPECT_EQ(seen, 1u);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  ::munmap(page, sizeof(std::atomic<std::uint32_t>));
+}
+
+TEST(SharedFutex, BoundedWaitTimesOutWithNoWaker) {
+  // Dead peers wake nobody: every shared wait is bounded, and expiry with
+  // the word unchanged reports TimedOut (the caller's cue to probe
+  // liveness — ipc::Channel does exactly that).
+  std::atomic<std::uint32_t> word{0};
+  std::uint32_t seen = 42;
+  const auto res = sync::wait_while_equal_shared(
+      word, 0u, sync::WaitStrategy::block(), 20'000'000, &seen);
+  EXPECT_EQ(res, sync::SharedWait::TimedOut);
+  EXPECT_EQ(seen, 0u);
+}
+
+#endif  // __linux__
 
 }  // namespace
 }  // namespace orwl

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Two-process shm-transport driver for the `ipc_check` CTest entry.
+
+Runs examples/ipc_alternation.cpp (stdlib only, no gtest) through its
+three modes and asserts the exit codes the transport documents:
+
+  ok           both processes alternate Write sections on the shared
+               counter and verify strict parity       -> exit 0
+  crash-peer   the peer is SIGKILLed inside a section; the surviving
+               owner must detect the dead process within its liveness
+               tick and fail-stop                     -> exit 75
+  crash-owner  the owner dies holding arbitration state; the surviving
+               peer must detect it                    -> exit 75
+
+75 is ipc::kPeerFailureExitCode (EX_TEMPFAIL), produced by the DEFAULT
+on_peer_failure handler — so this checker pins the out-of-the-box
+behaviour end to end: bounded-time loud failure, never a hang. Every
+subprocess runs under a hard timeout; the binary also arms its own
+alarm() watchdog, so a wedged transport fails twice over rather than
+blocking CI.
+
+Usage: python3 tools/check_ipc.py --exe PATH/TO/ipc_alternation
+Exit status 0 when every mode behaved; 1 with a per-mode report.
+"""
+
+import argparse
+import subprocess
+import sys
+
+# (mode, expected exit code). 75 = ipc::kPeerFailureExitCode.
+EXPECTATIONS = [
+    ("ok", 0),
+    ("crash-peer", 75),
+    ("crash-owner", 75),
+]
+
+# Generous CI bound; a clean run takes milliseconds, detection ~tens of
+# ms. Anything approaching this is a hang, which is itself the bug the
+# crash modes exist to rule out.
+TIMEOUT_SEC = 60
+
+
+def run_mode(exe, mode, rounds):
+    cmd = [exe, mode, str(rounds)]
+    try:
+        proc = subprocess.run(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            timeout=TIMEOUT_SEC,
+        )
+    except subprocess.TimeoutExpired:
+        return None, f"{' '.join(cmd)}: HUNG past {TIMEOUT_SEC}s"
+    return proc, None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--exe", required=True,
+                    help="path to the ipc_alternation binary")
+    ap.add_argument("--rounds", type=int, default=64)
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="runs per mode (schedule/timing variation)")
+    args = ap.parse_args()
+
+    errors = []
+    for mode, want in EXPECTATIONS:
+        for rep in range(args.repeat):
+            proc, hang = run_mode(args.exe, mode, args.rounds)
+            if hang:
+                errors.append(hang)
+                continue
+            if proc.returncode != want:
+                out = proc.stdout.decode(errors="replace").strip()
+                errors.append(
+                    f"mode {mode} (run {rep}): exit {proc.returncode}, "
+                    f"expected {want}\n  output: {out or '(none)'}")
+
+    if errors:
+        print(f"check_ipc: {len(errors)} failure(s)")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    modes = ", ".join(m for m, _ in EXPECTATIONS)
+    print(f"check_ipc: OK ({modes}; {args.repeat} run(s) each, "
+          f"{args.rounds} rounds)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ from typing import Callable, Iterable, List, NamedTuple
 MODULES = {
     "support", "sync", "orwl", "obs", "topo", "comm", "treematch", "mem",
     "place", "sim", "baselines", "lk23", "workloads", "harness", "model",
+    "ipc",
 }
 
 SINK_CONTRACT = "sink-contract: no-queue-reentry"
