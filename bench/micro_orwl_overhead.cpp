@@ -12,12 +12,16 @@
 // contended one parks on the request state itself).
 //
 //   micro_orwl_overhead [--reps R] [--warmup W] [--json PATH]
+//                       [--filter SUBSTRING]
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/bench.h"
@@ -28,6 +32,7 @@
 #include "support/table.h"
 #include "support/time.h"
 #include "sync/wait_strategy.h"
+#include "sync/waiter.h"
 
 namespace {
 
@@ -80,7 +85,46 @@ Micro queue_renew_cycle() {
             const double s = timer.seconds();
             (void)grants;
             return s;
-          }};
+          },
+          nullptr};
+}
+
+// Park/wake calibration: two threads hand one 32-bit word back and forth
+// through the shared sync:: waiter. Under block every handoff pays the
+// futex park + wake pair; under spin none does (the yield-based handoff is
+// what a spinning grant consumer pays instead). The per-handoff delta of
+// the two cases is the park+wake cost the simulator's
+// sim::LinkCost::park_latency/wake_latency fields model — main() derives
+// it from the medians and records it in the JSON context.
+Micro park_wake_handoff(sync::WaitStrategy ws) {
+  const int handoffs = 20000;  // word transfers per rep (both directions)
+  return {"park_wake_calibration/" + sync::to_string(ws),
+          sync::to_string(ws), static_cast<double>(handoffs), [ws, handoffs] {
+            std::atomic<std::uint32_t> word{0};
+            const auto n = static_cast<std::uint32_t>(handoffs);
+            // Peer: park at each even value, answer the odd one with the
+            // next even — each loop turn consumes one handoff and makes
+            // one.
+            std::thread peer([&word, n, ws] {
+              for (std::uint32_t v = 0; v < n; v += 2) {
+                (void)sync::wait_while_equal(word, v, ws);
+                word.store(v + 2, std::memory_order_release);
+                sync::notify_one(word);
+              }
+            });
+            WallTimer timer;
+            // Main: make each odd value, park on it until the peer
+            // answers.
+            for (std::uint32_t v = 1; v < n; v += 2) {
+              word.store(v, std::memory_order_release);
+              sync::notify_one(word);
+              (void)sync::wait_while_equal(word, v, ws);
+            }
+            const double s = timer.seconds();
+            peer.join();
+            return s;
+          },
+          nullptr};
 }
 
 /// N writer tasks round-robin on one location for `rounds` grants each.
@@ -192,15 +236,17 @@ Micro runtime_shared_reads(int readers) {
 
 int main(int argc, char** argv) {
   int reps = 5, warmup = 1;
-  std::string json_path;
+  std::string json_path, filter;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
     else if (a == "--warmup" && i + 1 < argc) warmup = std::atoi(argv[++i]);
     else if (a == "--json" && i + 1 < argc) json_path = argv[++i];
+    else if (a == "--filter" && i + 1 < argc) filter = argv[++i];
     else {
       std::cerr << "usage: " << argv[0]
-                << " [--reps R] [--warmup W] [--json PATH]\n";
+                << " [--reps R] [--warmup W] [--json PATH]"
+                   " [--filter SUBSTRING]\n";
       return 2;
     }
   }
@@ -213,17 +259,25 @@ int main(int argc, char** argv) {
   const sync::WaitStrategy kBlock = sync::WaitStrategy::block();
   const sync::WaitStrategy kSpinThenPark =
       sync::WaitStrategy::spin_then_park();
+  const sync::WaitStrategy kAuto = sync::WaitStrategy::spin_then_park_auto();
 
   std::vector<Micro> micros;
   micros.push_back(queue_renew_cycle());
   // Wait-strategy sweep: block (historical unsuffixed names) vs
-  // spin_then_park, for both grant-delivery modes.
+  // spin_then_park (static and self-tuned), for both grant-delivery
+  // modes.
   micros.push_back(runtime_alternation(false, kBlock, false));
   micros.push_back(runtime_alternation(true, kBlock, false));
   micros.push_back(runtime_alternation(false, kSpinThenPark, true));
   micros.push_back(runtime_alternation(true, kSpinThenPark, true));
+  micros.push_back(runtime_alternation(false, kAuto, true));
+  micros.push_back(runtime_alternation(true, kAuto, true));
   for (int n : {2, 4, 8}) micros.push_back(runtime_contention(n));
   for (int n : {2, 4, 8}) micros.push_back(runtime_shared_reads(n));
+  // Park/wake calibration (block-vs-spin handoff delta; see
+  // park_wake_handoff). Derived pair latency lands in the JSON context.
+  micros.push_back(park_wake_handoff(kBlock));
+  micros.push_back(park_wake_handoff(sync::WaitStrategy::spin()));
 
   struct Row {
     Micro micro;
@@ -232,6 +286,8 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   Table table({"benchmark", "time (median ±MAD)", "items/s"});
   for (Micro& micro : micros) {
+    if (!filter.empty() && micro.name.find(filter) == std::string::npos)
+      continue;
     const harness::Stats stats = harness::sample(warmup, reps, micro.once);
     table.add_row({micro.name,
                    format_seconds(stats.median) + " ±" +
@@ -249,6 +305,23 @@ int main(int argc, char** argv) {
         [&](harness::JsonWriter& json) {
           json.member("repetitions", reps);
           json.member("warmup", warmup);
+          // Derived park+wake pair cost: what one blocking handoff pays
+          // over a spinning one, per item — the measurement behind
+          // sim::LinkCost::park_latency/wake_latency.
+          double block_med = 0.0, spin_med = 0.0, items = 0.0;
+          for (const Row& row : rows) {
+            if (row.micro.name == "park_wake_calibration/block") {
+              block_med = row.stats.median;
+              items = row.micro.items;
+            } else if (row.micro.name == "park_wake_calibration/spin") {
+              spin_med = row.stats.median;
+            }
+          }
+          if (items > 0) {
+            const double delta = block_med - spin_med;
+            json.member("park_wake_pair_seconds",
+                        delta > 0 ? delta / items : 0.0);
+          }
         },
         [&](harness::JsonWriter& json) {
           for (const Row& row : rows) {

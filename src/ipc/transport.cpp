@@ -101,6 +101,15 @@ void OwnerEndpoint::start() {
     ORWL_CHECK_MSG(loc_map_[i] >= 0,
                    "channel location " << i << " was never bound");
   started_ = true;
+  // Every peer proxy slot is one more potential request owner on each
+  // mapped location ring. Grow the rings NOW — still single-threaded, no
+  // pump thread, owner-side primes queued but quiescent — because
+  // reserve_owners rebuilds the ring and must not race queue traffic.
+  // Hello (which carries the actual slot count) arrives on the pump
+  // thread, possibly mid-run, so we size for the checked upper bound:
+  // Hello rejects any count above the grant ring's capacity.
+  for (const LocationId loc : loc_map_)
+    rt_.location_queue(loc).reserve_owners(ch_.grants().capacity());
   rt_.set_remote_sink(&sink_);
   ch_.announce_self();
   pump_thread_ = std::thread([this] { pump(); });
@@ -214,6 +223,7 @@ void OwnerEndpoint::handle_msg(const WireMsg& msg) {
       ps.queued = true;
       ++outstanding_;
       rt_.location_queue(loc).insert(r);
+      // lint: allow-rmw(one-off counter for the priming barrier)
       // order: release — the insert above must be visible to whoever sees
       // the count (wait_peer_attached's priming barrier).
       requests_seen_.fetch_add(1, std::memory_order_release);

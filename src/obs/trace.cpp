@@ -190,6 +190,7 @@ void record(EventKind kind, std::uint64_t arg) noexcept {
 }  // namespace detail
 
 bool enable_tracing(bool on) noexcept {
+  // lint: allow-rmw(single flag flip returning the old value, no protocol)
   // order: relaxed — see tracing_enabled(); run boundaries order the flip.
   return detail::g_trace_enabled.exchange(on, std::memory_order_relaxed);
 }

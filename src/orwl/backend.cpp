@@ -272,6 +272,11 @@ DerivedLoad derive_load(const Program& program) {
   DerivedLoad out;
   sim::Workload& load = out.base;
   load.sync = sim::SyncModel::OrwlEvents;
+  // Programs that opted into a spinning wait strategy dodge the futex
+  // park/wake pair on every grant; tell the simulator so its per-grant
+  // charge matches what the runtime would pay (sim::Workload::spin_waits).
+  if (program.wait_strategy())
+    load.spin_waits = program.wait_strategy()->mode != sync::WaitMode::Block;
   load.threads.resize(tasks.size());
   load.iterations = 1;
   for (std::size_t t = 0; t < tasks.size(); ++t) {

@@ -59,12 +59,25 @@ class EventQueue {
   /// Events currently queued (diagnostics).
   [[nodiscard]] std::size_t pending() const ORWL_EXCLUDES(mu_);
 
+  /// Lock-free backlog probe for the inline-idle-delivery fast path: true
+  /// when the queue LOOKED empty just now. Advisory only — a concurrent
+  /// post can make the answer stale by the time the caller acts on it;
+  /// callers must be correct either way (grant delivery is, because a
+  /// notify is idempotent and waiters re-check state, never counts).
+  [[nodiscard]] bool idle() const {
+    // order: relaxed — advisory snapshot; see the comment above.
+    return backlog_.load(std::memory_order_relaxed) == 0;
+  }
+
  private:
   mutable sync::Mutex mu_;
   std::deque<Event> events_ ORWL_GUARDED_BY(mu_);
   bool stopped_ ORWL_GUARDED_BY(mu_) = false;
   /// Bumped (release) on every post/stop; the consumer parks on it.
   std::atomic<std::uint32_t> seq_{0};
+  /// Mirror of events_.size(), maintained under mu_ but readable without
+  /// it (idle() above).
+  std::atomic<std::uint32_t> backlog_{0};
   sync::WaitStrategy wait_;
 };
 

@@ -60,8 +60,15 @@ std::span<std::byte> Handle::acquire() {
   // Otherwise park on the state word until delivery notifies. The only
   // transition out of Requested is to Granted, so one wait suffices.
   if (s != RequestState::Granted) {
+    // Auto mode: substitute the current self-tuned spin budget (one
+    // relaxed load) so epoch-boundary retunes take effect on the very
+    // next wait. Without a wired budget, Auto degrades to the strategy's
+    // static spin count inside the waiter.
+    sync::WaitStrategy eff = wait_;
+    if (eff.mode == sync::WaitMode::Auto && spin_budget_ != nullptr)
+      eff.spins = spin_budget_->spins();
     sync::WaitLength len;
-    s = sync::wait_while_equal(cur.state, RequestState::Requested, wait_,
+    s = sync::wait_while_equal(cur.state, RequestState::Requested, eff,
                                wait_rounds_ != nullptr ? &len : nullptr);
     ORWL_CHECK_MSG(s == RequestState::Granted,
                    "request state corrupted while waiting (state "

@@ -24,6 +24,7 @@
 #include "obs/metrics.h"
 #include "orwl/location.h"
 #include "orwl/queue.h"
+#include "sync/adaptive_wait.h"
 #include "sync/wait_strategy.h"
 #include "sync/waiter.h"
 
@@ -87,6 +88,13 @@ class Handle {
     acquire_ns_ = acquire_ns;
   }
 
+  /// Wire the self-tuned spin budget (WaitMode::Auto only; done by
+  /// Runtime::add_handle, may be null). acquire() re-reads it every wait,
+  /// so epoch-boundary retunes apply immediately.
+  void set_spin_budget(const sync::AdaptiveWaitBudget* budget) {
+    spin_budget_ = budget;
+  }
+
  private:
   Request& current() { return slots_[active_]; }
   [[nodiscard]] const Request& current() const { return slots_[active_]; }
@@ -104,6 +112,7 @@ class Handle {
 
   obs::Histogram* wait_rounds_ = nullptr;  // observability sinks, optional
   obs::Histogram* acquire_ns_ = nullptr;
+  const sync::AdaptiveWaitBudget* spin_budget_ = nullptr;  // Auto mode
 };
 
 /// Typed view helper: reinterpret a byte span as a span of T.

@@ -61,11 +61,12 @@ class LocationBuffer {
   /// instrumentation to attribute read bytes to a producer.
   [[nodiscard]] TaskId last_writer() const {
     // order: relaxed — only read/written from the grant announcement path,
-    // which always holds this location's queue lock.
+    // which the queue's combiner role serializes (sync/combiner.h).
     return last_writer_.load(std::memory_order_relaxed);
   }
   void set_last_writer(TaskId t) {
-    // order: relaxed — see last_writer(): queue lock serializes all access.
+    // order: relaxed — see last_writer(): the combiner role serializes
+    // all access.
     last_writer_.store(t, std::memory_order_relaxed);
   }
 

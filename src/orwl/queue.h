@@ -11,20 +11,35 @@
 // the runtime can route them through control threads (the decentralized
 // event-based design the paper describes) or deliver them directly.
 //
+// LOCK-FREE DESIGN (docs/correctness.md "The lock-free grant path" has the
+// full ordering contract). The queue is a ticket ring, not a mutex-guarded
+// deque:
+//
+//   * insert       = one atomic fetch_add on the ticket counter + a
+//                    publish of the request into the ring slot the ticket
+//                    maps to (Vyukov-style per-slot sequence numbers).
+//   * release      = one release-store on the slot's `released` flag —
+//                    the owner never touches other requests.
+//   * advancement  = a flat-combining step (sync::Combiner): whichever
+//                    thread announced work last reclaims released head
+//                    slots and grants the new head run. Announcements are
+//                    globally serialized and strictly ticket-monotone, so
+//                    grant sequences are identical to a single-threaded
+//                    replay in ticket order.
+//
 // Request.state is an atomic the waiting compute thread parks on directly
-// (sync/waiter.h): the queue stores Granted (release) under its lock, the
-// delivery path notifies, and an uncontended grant is consumed with a
-// single acquire load — no per-handle mutex anywhere on the grant path.
+// (sync/waiter.h): the combiner stores Granted (release), the delivery
+// path notifies, and an uncontended grant is consumed with a single
+// acquire load — no lock anywhere on the grant path.
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "orwl/fwd.h"
-#include "support/thread_annotations.h"
-#include "sync/mutex.h"
+#include "sync/combiner.h"
 
 namespace orwl {
 
@@ -37,12 +52,14 @@ enum class RequestState : std::uint32_t {
 };
 
 /// One entry of a location FIFO. Owned by the issuing Handle; the queue
-/// stores non-owning pointers. Lifetime: must outlive its queue membership.
+/// stores non-owning pointers. Lifetime: must outlive its queue membership
+/// (the queue guarantees it never touches the request after the owner's
+/// release() returns — see FifoQueue).
 ///
-/// `state` is written by the queue (under its lock, Granted with release
-/// ordering) and read by the owning thread's waiter (acquire), which may
-/// park on it directly. Copying is provided for single-threaded setup and
-/// test convenience only — it snapshots the atomic non-atomically.
+/// `state` is written by the queue's combiner (Granted, release ordering)
+/// and read by the owning thread's waiter (acquire), which may park on it
+/// directly. Copying is provided for single-threaded setup and test
+/// convenience only — it snapshots the atomic non-atomically.
 struct Request {
   AccessMode mode = AccessMode::Read;
   std::atomic<RequestState> state{RequestState::Inactive};
@@ -74,10 +91,11 @@ struct Request {
   }
 };
 
-/// Grant announcement target, invoked (with the queue lock held) for every
-/// newly granted request. Implementations must be non-blocking and must
-/// not re-enter the announcing queue — ORWL_ASSERT fires on re-entry, in
-/// release builds too. Every on_grant override must carry the
+/// Grant announcement target, invoked (from inside the combining step, so
+/// announcements are serialized) for every newly granted request.
+/// Implementations must be non-blocking and must not re-enter the
+/// announcing queue — ORWL_ASSERT fires on re-entry, in release builds
+/// too. Every on_grant override must carry the
 /// `sink-contract: no-queue-reentry` comment (enforced by
 /// tools/orwl_lint.py) as an explicit acknowledgement of that contract.
 /// An intrusive interface (the Runtime *is* the sink) instead of a
@@ -123,6 +141,10 @@ class RequestPort {
 
 class FifoQueue : public RequestPort {
  public:
+  /// Ring capacity a fresh queue starts with; generous enough for every
+  /// direct-queue test/bench. Runtimes size precisely via reserve_owners.
+  static constexpr std::size_t kDefaultCapacity = 256;
+
   /// `sink` is non-owning and must outlive the queue.
   explicit FifoQueue(GrantSink* sink);
 
@@ -131,41 +153,89 @@ class FifoQueue : public RequestPort {
 
   /// Append a request. The request must be Inactive. May grant it (and
   /// announce the grant) immediately when it lands in the head run.
-  void insert(Request& req) override ORWL_EXCLUDES(mu_);
+  void insert(Request& req) override;
 
   /// Release a Granted request: remove it and advance the grant frontier,
   /// announcing any newly granted requests. Throws ContractError if the
-  /// request is not currently granted.
-  void release(Request& req) override ORWL_EXCLUDES(mu_);
+  /// request is not currently granted. After this returns the queue holds
+  /// no reference to `req` — the owner may immediately reuse or destroy
+  /// it.
+  void release(Request& req) override;
 
   /// Atomically insert `next` and release `current` — the iterative ORWL
-  /// step: the renewal lands in the FIFO *before* the lock is given up, so
-  /// the cyclic per-iteration order is preserved forever.
-  void release_and_renew(Request& current, Request& next) override
-      ORWL_EXCLUDES(mu_);
+  /// step: the renewal takes its ticket *before* the current slot is given
+  /// up, so the cyclic per-iteration order is preserved forever.
+  void release_and_renew(Request& current, Request& next) override;
 
-  /// Number of queued (Requested + Granted) requests.
-  [[nodiscard]] std::size_t size() const ORWL_EXCLUDES(mu_);
+  /// Number of queued (Requested + Granted) requests. Exact only while the
+  /// queue is quiescent (no insert/release in flight) — all callers are.
+  [[nodiscard]] std::size_t size() const;
 
-  /// Snapshot of (ticket, mode, state) for tests/diagnostics.
+  /// Snapshot of (ticket, mode, state) for tests/diagnostics. Same
+  /// quiescence contract as size().
   struct Entry {
     Ticket ticket;
     AccessMode mode;
     RequestState state;
   };
-  [[nodiscard]] std::vector<Entry> snapshot() const ORWL_EXCLUDES(mu_);
+  [[nodiscard]] std::vector<Entry> snapshot() const;
+
+  /// Declare `n` additional request owners (handles or remote proxies)
+  /// that will operate on this queue; grows the ring so the ORWL
+  /// in-flight bound (2 requests per owner) can never fill it. A full
+  /// ring would deadlock release_and_renew, whose renewal must take a
+  /// slot BEFORE the current grant's slot is reclaimed. Single-threaded
+  /// setup only (Runtime::add_handle, ipc attach) — the ring is rebuilt.
+  void reserve_owners(std::size_t n);
+
+  /// Grow the ring to at least `want` slots (rounded up to a power of
+  /// two). Quiescent single-threaded use only: no concurrent queue op may
+  /// be in flight while the ring is rebuilt.
+  void ensure_capacity(std::size_t want);
+
+  /// Current ring capacity (insert backpressure threshold).
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
 
  private:
-  void insert_locked(Request& req) ORWL_REQUIRES(mu_);
-  void release_locked(Request& req) ORWL_REQUIRES(mu_);
-  /// Grant the head run, announce new grants.
-  void advance_locked() ORWL_REQUIRES(mu_);
+  /// One ring slot. A ticket t lives in slots_[t & mask_]; the slot's
+  /// `seq` walks t (free for round t) → t+1 (occupied by round t) →
+  /// t+capacity (free for the next lap), publishing the other fields
+  /// Vyukov-style. `mode` is plain: written by the inserter before the
+  /// seq release-store, read by others only after the seq acquire-load.
+  struct alignas(64) Slot {
+    std::atomic<Ticket> seq{0};
+    std::atomic<Request*> req{nullptr};
+    /// Owner finished with the grant; slot is reclaimable.
+    std::atomic<bool> released{false};
+    /// Combiner finished announcing (sink returned); until then the
+    /// owner's release spins, so the combiner's Request& stays valid.
+    std::atomic<bool> announced{false};
+    AccessMode mode = AccessMode::Read;
+  };
+
+  void enqueue(Request& req);      ///< ticket + slot publish (no combine)
+  void mark_released(Request& req);  ///< contract checks + released flag
+  void combine();                  ///< announce work, maybe run advance()
+  void advance();                  ///< combiner body: reclaim + grant
+  void grant_one(Slot& s, Ticket t);  ///< store Granted + announce once
   /// Protocol assert: the grant sink must not call back in.
   void check_not_reentered() const;
 
-  mutable sync::Mutex mu_;
-  std::deque<Request*> queue_ ORWL_GUARDED_BY(mu_);
-  Ticket next_ticket_ ORWL_GUARDED_BY(mu_) = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;  ///< capacity - 1 (capacity is a power of two)
+  std::size_t owners_ = 0;  ///< registered request owners (reserve_owners)
+
+  /// Next ticket to hand out. The only atomic inserters contend on.
+  std::atomic<Ticket> tail_{0};
+  /// First not-yet-reclaimed ticket. Combiner-private (only mutated while
+  /// holding the Combiner role); atomic so quiescent observers
+  /// (size/snapshot) are race-free.
+  std::atomic<Ticket> head_{0};
+  /// Frontier of announced grants: every ticket < granted_ has had its
+  /// single announcement. Combiner-private like head_.
+  std::atomic<Ticket> granted_{0};
+
+  sync::Combiner combiner_;
   GrantSink* sink_;
 };
 

@@ -96,15 +96,31 @@ HandleId Runtime::add_handle(TaskId task, LocationId location, AccessMode mode,
   ORWL_CHECK_MSG(location >= 0 && location < num_locations(),
                  "unknown location " << location);
   const HandleId id = static_cast<HandleId>(handles_.size());
-  handles_.push_back(std::make_unique<Handle>(
-      id, task, *locations_[static_cast<std::size_t>(location)], mode,
-      opts_.wait));
+  LocationBuffer& loc = *locations_[static_cast<std::size_t>(location)];
+  // One more request owner on this location's ring: keep the ORWL
+  // in-flight bound (2 requests per owner) below ring capacity so
+  // release_and_renew can never fill it (see FifoQueue::reserve_owners).
+  loc.queue().reserve_owners(1);
+  handles_.push_back(std::make_unique<Handle>(id, task, loc, mode,
+                                              opts_.wait));
   // Per-handle observability: wait-length and acquire-latency histograms,
   // named by handle so the dump/report can attribute contention.
   const std::string suffix = "/h" + std::to_string(id);
-  handles_.back()->set_metrics(
-      &metrics_.histogram("orwl.wait_rounds" + suffix),
-      &metrics_.histogram("orwl.acquire_ns" + suffix));
+  obs::Histogram& wait_rounds =
+      metrics_.histogram("orwl.wait_rounds" + suffix);
+  handles_.back()->set_metrics(&wait_rounds,
+                               &metrics_.histogram("orwl.acquire_ns" + suffix));
+  if (opts_.wait.mode == sync::WaitMode::Auto) {
+    // Self-tuning wait: the handle re-reads this budget every acquire;
+    // retune_wait_budgets() re-derives it from wait_rounds at every epoch
+    // boundary and exports it through the gauge.
+    auto rec = std::make_unique<WaitTuneRec>();
+    rec->wait_rounds = &wait_rounds;
+    rec->budget_gauge = &metrics_.gauge("orwl.spin_budget" + suffix);
+    rec->budget_gauge->set(rec->budget.spins());
+    handles_.back()->set_spin_budget(&rec->budget);
+    wait_tuners_.push_back(std::move(rec));
+  }
   if (prime) prime_order_.push_back(id);
   return id;
 }
@@ -155,14 +171,29 @@ void Runtime::epoch_fire(sync::UniqueLock& lock) {
     hook_error = std::current_exception();
   }
   obs::trace(obs::EventKind::EpochEnd, static_cast<std::uint64_t>(epoch));
+  // Self-tuning waits ride the same boundary: the compute threads are
+  // still parked, so the wait-round histograms are quiescent and the
+  // epoch-window deltas exact.
+  retune_wait_budgets();
   lock.lock();
   esync_arrived_ = 0;
+  // lint: allow-rmw(epoch generation bump, not a lock-free protocol)
   // order: release — the bump releases the parked arrivals: it publishes
-  // the hook's effects (acquire-load in the waiter) and the notify wakes
-  // the futex waiters.
+  // the hook's effects (acquire-load in the waiter); notify wakes them.
   esync_generation_.fetch_add(1, std::memory_order_release);
   sync::notify_all(esync_generation_);
   if (hook_error) std::rethrow_exception(hook_error);
+}
+
+void Runtime::retune_wait_budgets() {
+  for (const auto& rec : wait_tuners_) {
+    const obs::HistogramSnapshot snap = rec->wait_rounds->snapshot();
+    std::array<std::uint64_t, obs::HistogramSnapshot::kBuckets> delta;
+    for (std::size_t i = 0; i < delta.size(); ++i)
+      delta[i] = snap.buckets[i] - rec->last[i];
+    rec->last = snap.buckets;
+    rec->budget_gauge->set(rec->budget.retune(delta.data(), delta.size()));
+  }
 }
 
 void Runtime::epoch_arrive(TaskId task, int round) {
@@ -321,18 +352,32 @@ void Runtime::on_grant(Request& req) {
 }
 
 void Runtime::route_grant(Request& req) {
+  // Inline idle delivery (RuntimeOptions::inline_idle_delivery): an empty
+  // control backlog means there is nothing to batch, so the hop through
+  // the control thread would only add wake latency — deliver here. The
+  // idle() probe is advisory; a stale answer is safe either way because
+  // delivery is a notify (idempotent, the waiter re-checks state).
   switch (opts_.control) {
     case RuntimeOptions::ControlMode::Direct:
       Handle::deliver_grant(req);
       break;
-    case RuntimeOptions::ControlMode::PerTask:
-      tasks_[static_cast<std::size_t>(req.owner)].events->post({&req});
+    case RuntimeOptions::ControlMode::PerTask: {
+      EventQueue& q = *tasks_[static_cast<std::size_t>(req.owner)].events;
+      if (opts_.inline_idle_delivery && q.idle())
+        Handle::deliver_grant(req);
+      else
+        q.post({&req});
       break;
-    case RuntimeOptions::ControlMode::SharedPool:
-      shared_queues_[static_cast<std::size_t>(req.owner) %
-                     shared_queues_.size()]
-          ->post({&req});
+    }
+    case RuntimeOptions::ControlMode::SharedPool: {
+      EventQueue& q = *shared_queues_[static_cast<std::size_t>(req.owner) %
+                                      shared_queues_.size()];
+      if (opts_.inline_idle_delivery && q.idle())
+        Handle::deliver_grant(req);
+      else
+        q.post({&req});
       break;
+    }
   }
 }
 

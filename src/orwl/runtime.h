@@ -22,6 +22,7 @@
 // Handle registration order defines the canonical initial FIFO insertion
 // order — the ORWL liveness discipline for iterative programs.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -42,6 +43,7 @@
 #include "orwl/location.h"
 #include "orwl/task.h"
 #include "support/thread_annotations.h"
+#include "sync/adaptive_wait.h"
 #include "sync/mutex.h"
 #include "sync/wait_strategy.h"
 #include "topo/binding.h"
@@ -71,6 +73,17 @@ struct RuntimeOptions {
 
   /// Record the measured communication-flow matrix (small overhead).
   bool record_flows = true;
+
+  /// Inline idle delivery: when a grant is announced and the target
+  /// control queue's backlog is empty, the announcing thread delivers the
+  /// grant itself (one notify on the waiter's state word) instead of
+  /// posting an event — skipping a control-thread hop (futex wake, context
+  /// switch, futex wake) that buys nothing when there is no backlog to
+  /// batch. The lock-free grant path makes this safe: announcement holds
+  /// no lock, so the woken thread's next queue operation cannot convoy
+  /// behind the announcer. Control threads still drain bursts. Ignored in
+  /// ControlMode::Direct (delivery is already inline).
+  bool inline_idle_delivery = true;
 
   /// How every parking point of this runtime waits (handle grant waits,
   /// control-thread event pops, the epoch barrier): block, spin, or
@@ -274,6 +287,11 @@ class Runtime : private GrantSink {
   // sink-contract: no-queue-reentry — only posts to event queues / notifies
   // the waiter; never calls back into the announcing FifoQueue.
   void on_grant(Request& req) override;
+  /// Re-derive every Auto handle's spin budget from its wait-round
+  /// histogram's last-epoch window (epoch-boundary context: compute
+  /// threads parked, so the snapshots are exact). No-op unless
+  /// RuntimeOptions::wait is spin_then_park(auto).
+  void retune_wait_budgets();
   void control_loop(TaskId task);
   void shared_control_loop(int pool_index);
   /// Deliver a drained event batch, coalescing duplicate announcements of
@@ -295,6 +313,19 @@ class Runtime : private GrantSink {
   std::vector<std::optional<topo::Bitmap>> shared_bindings_;
   obs::Registry metrics_;  // declared before stats_: Instrument borrows it
   Instrument stats_;
+
+  /// Self-tuning wait state, one per handle when RuntimeOptions::wait is
+  /// Auto (empty otherwise). unique_ptr: handles keep a pointer to the
+  /// budget, so records must not move when the vector grows.
+  struct WaitTuneRec {
+    sync::AdaptiveWaitBudget budget;
+    obs::Histogram* wait_rounds = nullptr;  ///< source histogram
+    obs::Gauge* budget_gauge = nullptr;     ///< exported current budget
+    /// Bucket snapshot at the previous retune; retunes act on the delta.
+    std::array<std::uint64_t, obs::HistogramSnapshot::kBuckets> last{};
+  };
+  std::vector<std::unique_ptr<WaitTuneRec>> wait_tuners_;
+
   GrantSink* remote_sink_ = nullptr;
   bool ran_ = false;
 

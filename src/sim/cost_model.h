@@ -51,6 +51,19 @@ struct LinkCost {
   /// wakeup migration and queueing delay.
   double unmanaged_grant_penalty = 20e-6;
 
+  /// Futex park / wake halves of a blocking grant delivery, measured by
+  /// bench/micro_orwl_overhead's park_wake_calibration case (the delta
+  /// between a blocking and a spinning handoff of one atomic word).
+  /// Spin-mode workloads (Workload::spin_waits) dodge this pair on the
+  /// grant path, so the simulator discounts their per-grant cost by it —
+  /// floored at grant_overhead/4, since announcement and queue work
+  /// remain. Blocking workloads are charged grant_overhead unchanged,
+  /// keeping recorded blocking-mode results bit-identical. Defaults split
+  /// the calibration's measured ~0.6 us blocking-vs-spinning handoff
+  /// delta evenly across the two halves.
+  double park_latency = 0.3e-6;
+  double wake_latency = 0.3e-6;
+
   /// Per-hop cost of a fork-join barrier (the barrier costs
   /// barrier_hop * ceil(log2(P)) * 2 per iteration).
   double barrier_hop = 3e-6;

@@ -178,6 +178,14 @@ Report simulate(const topo::Topology& topo, const LinkCost& cost,
       if (th.acquires > 0) {
         const int cpu = placement.control_pu[static_cast<std::size_t>(t)];
         double per_grant = cost.grant_overhead;
+        if (load.spin_waits) {
+          // Spinning waiters consume the grant without the futex
+          // park/wake pair; the floor keeps announcement + queue work
+          // charged even when the measured pair exceeds the overhead.
+          per_grant = std::max(
+              cost.grant_overhead - cost.park_latency - cost.wake_latency,
+              0.25 * cost.grant_overhead);
+        }
         if (cpu < 0) {
           per_grant += cost.unmanaged_grant_penalty;
         } else {

@@ -19,6 +19,7 @@ void set_current_thread_name(const std::string& name) {
 
 int current_thread_index() {
   static std::atomic<int> counter{0};
+  // lint: allow-rmw(monotonic id allocation, no ordering protocol)
   thread_local int idx = counter.fetch_add(1, std::memory_order_relaxed);
   return idx;
 }

@@ -1,0 +1,101 @@
+#pragma once
+// AdaptiveWaitBudget: the self-tuned spin budget behind
+// WaitMode::Auto ("spin_then_park(auto)").
+//
+// A spin-then-park waiter has one knob: how many spin rounds to burn
+// before paying for a futex park. The right setting depends on the wait
+// distribution the handle actually sees — a handle whose grants arrive
+// within a few hundred rounds should spin just past that; one whose
+// grants take a scheduler quantum should park immediately and stop
+// wasting its (possibly only) core. That distribution is already
+// measured: every acquire records its spin-round count into a per-handle
+// log2 histogram (obs/metrics.h, "orwl.wait_rounds/h<id>").
+//
+// This class closes the loop. The runtime feeds it, at every epoch
+// boundary, the DELTA of those histogram buckets over the last epoch;
+// retune() re-derives the budget from the window's p50/p95:
+//
+//   * p50 >= budget  — most waits outlast the spin phase; spinning is
+//     pure waste, so collapse toward kMinSpins (park almost immediately).
+//   * otherwise      — spins resolve most waits; size the budget to
+//     2 * p95 (clamped to [kMinSpins, kMaxSpins]) so the common case
+//     stays park-free without chasing outliers.
+//
+// Waiters re-read spins() on every wait (one relaxed load), so a retune
+// takes effect immediately without synchronization. Lives in sync/
+// (taking raw bucket arrays, not obs:: types) so the dependency points
+// obs -> sync, never back.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace orwl::sync {
+
+class AdaptiveWaitBudget {
+ public:
+  static constexpr int kMinSpins = 16;     ///< never fully give up spinning
+  static constexpr int kMaxSpins = 4096;   ///< cap the burn on long tails
+  static constexpr int kInitialSpins = 256;  ///< pre-tuning default
+
+  /// Current spin budget, re-read by the waiter on every wait.
+  [[nodiscard]] int spins() const noexcept {
+    // order: relaxed — a stale budget only mis-sizes one spin phase; the
+    // retune is advisory, not a synchronization event.
+    return spins_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-derive the budget from one epoch window of wait-round samples.
+  /// `buckets` are log2 counts in the obs::Histogram convention — bucket 0
+  /// counts exact zeros, bucket i >= 1 counts rounds in [2^(i-1), 2^i - 1]
+  /// — already DELTA'd to the window (caller subtracts the previous
+  /// snapshot). An empty window keeps the current budget (no evidence, no
+  /// change). Returns the budget now in effect.
+  int retune(const std::uint64_t* buckets, std::size_t n) noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) total += buckets[i];
+    if (total == 0) return spins();
+
+    const std::uint64_t p50 = quantile_upper(buckets, n, total, 0.50);
+    const std::uint64_t p95 = quantile_upper(buckets, n, total, 0.95);
+    const int cur = spins();
+    int next;
+    if (p50 >= static_cast<std::uint64_t>(cur)) {
+      // The median wait outlasts the whole spin phase: spinning buys
+      // nothing, halve toward the floor (gradual, so one pathological
+      // epoch cannot zero a healthy budget).
+      next = cur / 2;
+    } else {
+      const std::uint64_t want = 2 * p95;
+      next = want > static_cast<std::uint64_t>(kMaxSpins)
+                 ? kMaxSpins
+                 : static_cast<int>(want);
+    }
+    if (next < kMinSpins) next = kMinSpins;
+    if (next > kMaxSpins) next = kMaxSpins;
+    // order: relaxed — see spins().
+    spins_.store(next, std::memory_order_relaxed);
+    return next;
+  }
+
+ private:
+  /// Inclusive upper bound of the bucket holding the q-quantile.
+  [[nodiscard]] static std::uint64_t quantile_upper(
+      const std::uint64_t* buckets, std::size_t n, std::uint64_t total,
+      double q) noexcept {
+    const auto rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      seen += buckets[i];
+      if (seen > rank)
+        return i == 0 ? 0
+                      : (i >= 64 ? ~0ull : (std::uint64_t{1} << i) - 1);
+    }
+    return 0;  // unreachable with total > 0
+  }
+
+  std::atomic<int> spins_{kInitialSpins};
+};
+
+}  // namespace orwl::sync

@@ -15,6 +15,8 @@ std::string to_string(const WaitStrategy& ws) {
       return "spin";
     case WaitMode::SpinThenPark:
       return "spin_then_park(" + std::to_string(ws.spins) + ")";
+    case WaitMode::Auto:
+      return "spin_then_park(auto)";
   }
   return "unknown";
 }
@@ -27,7 +29,8 @@ WaitStrategy parse_wait_strategy(const std::string& text) {
   if (s == "block") return WaitStrategy::block();
   if (s == "spin") return WaitStrategy::spin();
   if (s == "spin_then_park") return WaitStrategy::spin_then_park();
-  // spin_then_park(N) / spin_then_park:N
+  if (s == "auto") return WaitStrategy::spin_then_park_auto();
+  // spin_then_park(N) / spin_then_park:N / spin_then_park(auto)
   const std::string prefix = "spin_then_park";
   if (s.rfind(prefix, 0) == 0 && s.size() > prefix.size()) {
     std::string arg = s.substr(prefix.size());
@@ -36,6 +39,7 @@ WaitStrategy parse_wait_strategy(const std::string& text) {
       arg = arg.substr(1, arg.size() - 2);
     else
       arg.clear();
+    if (arg == "auto") return WaitStrategy::spin_then_park_auto();
     if (!arg.empty() &&
         std::all_of(arg.begin(), arg.end(),
                     [](unsigned char c) { return std::isdigit(c); })) {
@@ -50,7 +54,8 @@ WaitStrategy parse_wait_strategy(const std::string& text) {
   ORWL_CHECK_MSG(false,
                  "unknown wait strategy '"
                      << text
-                     << "'; use block | spin | spin_then_park[(N)]");
+                     << "'; use block | spin | spin_then_park[(N)] | "
+                        "spin_then_park(auto)");
   return {};  // unreachable
 }
 

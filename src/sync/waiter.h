@@ -84,6 +84,11 @@ template <class T>
         }
         spin_round(round);
       }
+    case WaitMode::Auto:
+      // Tuned waiters (orwl::Handle) substitute their AdaptiveWaitBudget
+      // into ws.spins before calling; for everyone else Auto degrades to
+      // the static spin_then_park budget below.
+      [[fallthrough]];
     case WaitMode::SpinThenPark:
       for (int round = 0; round < ws.spins; ++round) {
         // order: acquire — same pairing as the first load above.
@@ -118,6 +123,20 @@ template <class T>
 [[nodiscard]] T wait_while_equal(const std::atomic<T>& word, T old,
                                  const WaitStrategy& ws) noexcept {
   return wait_while_equal(word, old, ws, static_cast<WaitLength*>(nullptr));
+}
+
+/// Spin (relax, then yield) until `done()` returns true. For short-bounded
+/// waits that cannot park — e.g. a ring-slot handoff where the flipping
+/// thread is guaranteed to be running the protocol right now. The yield
+/// phase keeps it live on oversubscribed and single-PU hosts.
+template <class Pred>
+void spin_until(Pred&& done) noexcept(noexcept(done())) {
+  for (int round = 0; !done(); ++round) {
+    if (round < WaitStrategy::kRelaxRounds)
+      cpu_relax();
+    else
+      std::this_thread::yield();
+  }
 }
 
 /// Wake waiters parked on `word`. The new value must already be stored

@@ -1,0 +1,14 @@
+// Fixture: an atomic read-modify-write outside the lock-free allow-list
+// (src/sync/, orwl/queue, obs/metrics) with no "// lint: allow-rmw(...)"
+// annotation. Must trip [rmw-allowlist]. The default (seq_cst) order keeps
+// [order-comment] out of the picture — this fixture isolates one rule.
+
+#include <atomic>
+
+namespace orwl::lintfix {
+
+int unreviewed_rmw(std::atomic<int>& counter) {
+  return counter.fetch_add(1);
+}
+
+}  // namespace orwl::lintfix

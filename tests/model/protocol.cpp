@@ -239,7 +239,7 @@ WorldResult run_world(const std::vector<TaskSpec>& tasks, int num_locations,
           if (last)
             h->release();
           else
-            h->release_and_renew();
+            h->release_and_renew(ctx);
           world.check();
           ctx.yield();
         }
@@ -373,7 +373,7 @@ WorldResult run_remote_world(const std::vector<TaskSpec>& tasks,
             if (last)
               h->release();
             else
-              h->release_and_renew();
+              h->release_and_renew();  // one wire message, atomic at the owner
             world.check();
             ctx.yield();
           }
@@ -394,7 +394,7 @@ WorldResult run_remote_world(const std::vector<TaskSpec>& tasks,
             if (last)
               h->release();
             else
-              h->release_and_renew();
+              h->release_and_renew(ctx);
             world.check();
             ctx.yield();
           }

@@ -94,11 +94,22 @@ class ModelHandle {
 
   void release() { loc_.queue.release(cur()); }
 
-  void release_and_renew() {
+  /// The iterative renewal, modelled as the TWO steps the lock-free queue
+  /// makes independently visible: the renewal takes its ticket and
+  /// publishes its ring slot (insert), and only then is the current grant
+  /// given up (release). The explicit schedule point between them drives
+  /// the ticket window — the DFS lands every other protocol step inside
+  /// it, proving the cyclic order cannot be usurped while a renewal is
+  /// published but its predecessor still holds the grant. (The runtime's
+  /// single-call release_and_renew is the same two steps back to back;
+  /// queue_test covers that form.)
+  void release_and_renew(ThreadCtx& ctx) {
     Request& c = cur();
     Request& n = spare();
     active_ ^= 1;
-    loc_.queue.release_and_renew(c, n);
+    loc_.queue.insert(n);   // ticket window opens: renewal is queued...
+    ctx.yield();            // ...any protocol step may land here...
+    loc_.queue.release(c);  // ...before the current grant is given up
   }
 
   [[nodiscard]] Ticket current_ticket() const { return cur().ticket; }

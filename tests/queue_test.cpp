@@ -213,5 +213,76 @@ TEST(Queue, RequiresGrantSink) {
   EXPECT_THROW(FifoQueue(nullptr), ContractError);
 }
 
+// ---------------------------------------------------------------------------
+// Ticket-ring mechanics: capacity, wraparound, quiescent growth
+// ---------------------------------------------------------------------------
+
+TEST_F(QueueTest, RingWrapsAroundManyLaps) {
+  // Two alternating writers renewing for several multiples of the default
+  // capacity: every ticket re-lands in an already-used ring slot, so a
+  // wrong per-slot sequence walk (free -> occupied -> next lap) would
+  // grant out of order or deadlock long before the loop ends.
+  const int cycles = static_cast<int>(FifoQueue::kDefaultCapacity) * 3 + 7;
+  Request a[2] = {make(AccessMode::Write), make(AccessMode::Write)};
+  Request b[2] = {make(AccessMode::Write), make(AccessMode::Write)};
+  queue_.insert(a[0]);
+  queue_.insert(b[0]);
+  for (int i = 0; i < cycles; ++i) {
+    ASSERT_EQ(a[i % 2].state, RequestState::Granted) << "cycle " << i;
+    queue_.release_and_renew(a[i % 2], a[(i + 1) % 2]);
+    ASSERT_EQ(b[i % 2].state, RequestState::Granted) << "cycle " << i;
+    queue_.release_and_renew(b[i % 2], b[(i + 1) % 2]);
+  }
+  // The first prime is announced on insert; after that every
+  // release_and_renew announces exactly one successor — single
+  // announcement across every lap.
+  ASSERT_EQ(granted_.size(), 1u + 2u * static_cast<std::size_t>(cycles));
+  // Strict a/b alternation held to the end.
+  EXPECT_EQ(granted_.back(), &a[cycles % 2]);
+  EXPECT_EQ(granted_[granted_.size() - 2], &b[(cycles - 1) % 2]);
+  EXPECT_EQ(a[cycles % 2].state, RequestState::Granted);
+  EXPECT_EQ(b[cycles % 2].state, RequestState::Requested);
+}
+
+TEST_F(QueueTest, ReserveOwnersGrowsPastInFlightBound) {
+  EXPECT_EQ(queue_.capacity(), FifoQueue::kDefaultCapacity);
+  // 1000 owners x 2 in-flight slots each must fit: the ring may never be
+  // full when a renewal needs its slot before the release reclaims one.
+  queue_.reserve_owners(1000);
+  EXPECT_GE(queue_.capacity(), 2u * 1000u + 2u);
+  // Power-of-two capacity (ticket & mask indexing).
+  EXPECT_EQ(queue_.capacity() & (queue_.capacity() - 1), 0u);
+}
+
+TEST_F(QueueTest, EnsureCapacityRebuildPreservesLiveQueue) {
+  Request w1 = make(AccessMode::Write);
+  Request w2 = make(AccessMode::Write);
+  Request r1 = make(AccessMode::Read);
+  queue_.insert(w1);
+  queue_.insert(w2);
+  queue_.insert(r1);
+  const auto before = queue_.snapshot();
+  queue_.ensure_capacity(FifoQueue::kDefaultCapacity * 4);
+  EXPECT_GE(queue_.capacity(), FifoQueue::kDefaultCapacity * 4);
+  // The quiescent rebuild re-seats every live ticket under the new mask:
+  // same order, same states, and the protocol continues unharmed.
+  const auto after = queue_.snapshot();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].ticket, before[i].ticket);
+    EXPECT_EQ(after[i].state, before[i].state);
+  }
+  queue_.release(w1);
+  EXPECT_EQ(w2.state, RequestState::Granted);
+  queue_.release(w2);
+  EXPECT_EQ(r1.state, RequestState::Granted);
+}
+
+TEST_F(QueueTest, EnsureCapacityBelowCurrentIsANoOp) {
+  const std::size_t cap = queue_.capacity();
+  queue_.ensure_capacity(1);
+  EXPECT_EQ(queue_.capacity(), cap);
+}
+
 }  // namespace
 }  // namespace orwl

@@ -137,6 +137,39 @@ TEST(Simulate, UnmanagedControlPaysPenalty) {
               1e-9);
 }
 
+TEST(Simulate, SpinWaitsDiscountParkWakeLatency) {
+  // A spinning waiter consumes its grant without the futex park/wake
+  // pair, so spin_waits workloads pay grant_overhead minus the measured
+  // park+wake latencies (bench/micro_orwl_overhead's
+  // park_wake_calibration cases). Block workloads — the recorded-baseline
+  // configuration — must be bit-identical with the discount code in the
+  // tree.
+  const auto topo = topo::Topology::flat(2);
+  LinkCost cost = LinkCost::defaults_for(topo);
+  Workload blocking;
+  blocking.threads = {{0.0, 0.0, 1000}};
+  Workload spinning = blocking;
+  spinning.spin_waits = true;
+  Placement managed = fixed_at({0});
+  managed.control_pu = {0};
+  const Report rb = simulate(topo, cost, blocking, managed);
+  const Report rs = simulate(topo, cost, spinning, managed);
+  EXPECT_LT(rs.lock_seconds, rb.lock_seconds);
+  EXPECT_NEAR(rb.lock_seconds - rs.lock_seconds,
+              1000 * (cost.park_latency + cost.wake_latency), 1e-12);
+
+  // The discount is floored at a quarter of the grant overhead: queue
+  // work and announcement stay charged even if a host measured a
+  // park/wake pair larger than the whole overhead.
+  LinkCost extreme = cost;
+  extreme.park_latency = cost.grant_overhead;
+  extreme.wake_latency = cost.grant_overhead;
+  const Report rf = simulate(topo, extreme, spinning, managed);
+  EXPECT_NEAR(rf.lock_seconds,
+              1000 * (0.25 * cost.grant_overhead + cost.latency.back()),
+              1e-12);
+}
+
 TEST(Simulate, BarrierCostOnlyForForkJoin) {
   const auto topo = topo::Topology::flat(8);
   const LinkCost cost = LinkCost::defaults_for(topo);

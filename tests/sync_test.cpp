@@ -8,14 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <map>
 #include <mutex>
 #include <new>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #ifdef __linux__
@@ -29,6 +32,7 @@
 #include "sync/shared_futex.h"
 #include "support/assert.h"
 #include "support/rng.h"
+#include "sync/adaptive_wait.h"
 #include "sync/sharded_counter.h"
 #include "sync/wait_strategy.h"
 #include "sync/waiter.h"
@@ -59,6 +63,87 @@ TEST(WaitStrategy, ParseRoundTrip) {
   // std::out_of_range from stoi.
   EXPECT_THROW(sync::parse_wait_strategy("spin_then_park(99999999999999999)"),
                ContractError);
+}
+
+TEST(WaitStrategy, AutoParseRoundTrip) {
+  EXPECT_EQ(sync::parse_wait_strategy("spin_then_park(auto)"),
+            sync::WaitStrategy::spin_then_park_auto());
+  EXPECT_EQ(sync::parse_wait_strategy("auto"),
+            sync::WaitStrategy::spin_then_park_auto());
+  EXPECT_EQ(sync::to_string(sync::WaitStrategy::spin_then_park_auto()),
+            "spin_then_park(auto)");
+  EXPECT_EQ(sync::WaitStrategy::spin_then_park_auto().mode,
+            sync::WaitMode::Auto);
+  // Untuned Auto waiters fall back to the static default budget.
+  EXPECT_EQ(sync::WaitStrategy::spin_then_park_auto().spins,
+            sync::AdaptiveWaitBudget::kInitialSpins);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveWaitBudget: the retune policy, one window shape per branch
+// ---------------------------------------------------------------------------
+
+namespace {
+// One epoch window in the obs::Histogram log2 convention: bucket 0 holds
+// exact zeros, bucket i >= 1 holds [2^(i-1), 2^i - 1].
+std::array<std::uint64_t, 20> window(
+    std::initializer_list<std::pair<int, std::uint64_t>> counts) {
+  std::array<std::uint64_t, 20> b{};
+  for (const auto& [bucket, n] : counts)
+    b[static_cast<std::size_t>(bucket)] = n;
+  return b;
+}
+}  // namespace
+
+TEST(AdaptiveWaitBudget, EmptyWindowKeepsBudget) {
+  sync::AdaptiveWaitBudget budget;
+  EXPECT_EQ(budget.spins(), sync::AdaptiveWaitBudget::kInitialSpins);
+  const auto w = window({});
+  EXPECT_EQ(budget.retune(w.data(), w.size()),
+            sync::AdaptiveWaitBudget::kInitialSpins);
+}
+
+TEST(AdaptiveWaitBudget, MedianPastBudgetHalvesTowardFloor) {
+  sync::AdaptiveWaitBudget budget;
+  // Every wait lands in [2048, 4095]: the median outlasts any budget the
+  // halving passes through, so the budget walks 256 -> 128 -> ... -> 16
+  // and pins at the floor (never fully gives up spinning).
+  const auto w = window({{12, 100}});
+  EXPECT_EQ(budget.retune(w.data(), w.size()), 128);
+  EXPECT_EQ(budget.retune(w.data(), w.size()), 64);
+  EXPECT_EQ(budget.retune(w.data(), w.size()), 32);
+  EXPECT_EQ(budget.retune(w.data(), w.size()), 16);
+  EXPECT_EQ(budget.retune(w.data(), w.size()),
+            sync::AdaptiveWaitBudget::kMinSpins);
+}
+
+TEST(AdaptiveWaitBudget, ShortWaitsSizeBudgetToTwiceP95) {
+  sync::AdaptiveWaitBudget budget;
+  // 90% of waits resolve within [8, 15], a 10% tail reaches [64, 127]:
+  // p50 = 15 < 256, p95 = 127, so the budget becomes 2 * 127 = 254 —
+  // the common case stays park-free without chasing the max.
+  const auto w = window({{4, 90}, {7, 10}});
+  EXPECT_EQ(budget.retune(w.data(), w.size()), 254);
+  EXPECT_EQ(budget.spins(), 254);
+}
+
+TEST(AdaptiveWaitBudget, GrowthClampsAtMaxSpins) {
+  sync::AdaptiveWaitBudget budget;
+  // Bimodal: mostly instant grants (bucket 0), a 40% tail in
+  // [4096, 8191]. p50 = 0 keeps the grow branch, but 2 * p95 = 16382
+  // must clamp to kMaxSpins.
+  const auto w = window({{0, 60}, {13, 40}});
+  EXPECT_EQ(budget.retune(w.data(), w.size()),
+            sync::AdaptiveWaitBudget::kMaxSpins);
+}
+
+TEST(AdaptiveWaitBudget, AllZeroWaitsClampAtMinSpins) {
+  sync::AdaptiveWaitBudget budget;
+  // Every grant was already there (bucket 0 only): 2 * p95 = 0 clamps up
+  // to the floor instead of disabling the spin phase entirely.
+  const auto w = window({{0, 50}});
+  EXPECT_EQ(budget.retune(w.data(), w.size()),
+            sync::AdaptiveWaitBudget::kMinSpins);
 }
 
 // ---------------------------------------------------------------------------
@@ -134,12 +219,14 @@ INSTANTIATE_TEST_SUITE_P(
     Strategies, WaiterTest,
     ::testing::Values(sync::WaitStrategy::block(),
                       sync::WaitStrategy::spin_then_park(64),
-                      sync::WaitStrategy::spin()),
+                      sync::WaitStrategy::spin(),
+                      sync::WaitStrategy::spin_then_park_auto()),
     [](const auto& info) {
       switch (info.param.mode) {
         case sync::WaitMode::Block: return "Block";
         case sync::WaitMode::SpinThenPark: return "SpinThenPark";
         case sync::WaitMode::Spin: return "Spin";
+        case sync::WaitMode::Auto: return "Auto";
       }
       return "Unknown";
     });

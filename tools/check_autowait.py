@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Self-tuning wait-strategy smoke check.
+
+`spin_then_park(auto)` re-derives its per-handle spin budget from the
+observed wait-round histograms (docs/architecture.md, "Self-tuning
+waits"). Its whole value proposition is "never worse than just
+blocking": the budget collapses toward kMinSpins when spinning does not
+pay off. This check asserts that promise on the runtime_alternation
+micro — for each grant-delivery mode, the auto case's median must not
+exceed the block case's median by more than the tolerance.
+
+  python3 tools/check_autowait.py --bench build/micro_orwl_overhead \\
+      [--tolerance 0.10] [--reps 3] [--warmup 1]
+
+  python3 tools/check_autowait.py --fresh NEW.json
+      compare an already-written recording instead of running the bench.
+
+Both compared cases come from the SAME process run, so host speed
+cancels out; the tolerance only has to absorb scheduling noise between
+two back-to-back measurements. Still, alternation medians on shared CI
+runners jitter by double digits, so this runs as a NON-GATING CI step
+(continue-on-error) — a red run is a prompt to look, not a merge block.
+
+Exit status: 0 within tolerance, 1 on regression, 2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+PAIRS = [
+    ("runtime_alternation/direct",
+     "runtime_alternation/direct/spin_then_park(auto)"),
+    ("runtime_alternation/control-threads",
+     "runtime_alternation/control-threads/spin_then_park(auto)"),
+]
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return {b["name"]: b["seconds_median"] for b in doc["benchmarks"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", help="micro_orwl_overhead binary to run")
+    ap.add_argument("--fresh", help="already-written recording to compare")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional excess over block (default "
+                         "0.10)")
+    ap.add_argument("--reps", type=int, default=3)
+    ap.add_argument("--warmup", type=int, default=1)
+    args = ap.parse_args()
+    if bool(args.bench) == bool(args.fresh):
+        ap.error("exactly one of --bench / --fresh is required")
+
+    if args.bench:
+        with tempfile.TemporaryDirectory() as tmpdir:
+            out = os.path.join(tmpdir, "fresh.json")
+            cmd = [args.bench, "--filter", "runtime_alternation",
+                   "--reps", str(args.reps), "--warmup", str(args.warmup),
+                   "--json", out]
+            print("+", " ".join(cmd))
+            subprocess.run(cmd, check=True)
+            medians = load(out)
+    else:
+        medians = load(args.fresh)
+
+    failed = False
+    for block_name, auto_name in PAIRS:
+        if block_name not in medians or auto_name not in medians:
+            print(f"check_autowait: missing case "
+                  f"{block_name!r} or {auto_name!r}", file=sys.stderr)
+            failed = True
+            continue
+        block, auto = medians[block_name], medians[auto_name]
+        ratio = auto / block
+        verdict = "OK" if ratio <= 1.0 + args.tolerance else "REGRESSION"
+        print(f"{auto_name}: {auto * 1e3:.3f} ms vs "
+              f"{block_name}: {block * 1e3:.3f} ms "
+              f"(ratio {ratio:.3f}, limit {1.0 + args.tolerance:.2f}) "
+              f"{verdict}")
+        if verdict != "OK":
+            failed = True
+
+    if failed:
+        print("check_autowait: spin_then_park(auto) regressed past "
+              "tolerance", file=sys.stderr)
+        return 1
+    print("check_autowait OK: auto wait within tolerance of block")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,15 @@ order-comment    Every `memory_order_*` use in src/sync and src/orwl must be
                  the 3 preceding lines, naming the pairing (what it publishes
                  or consumes).
 
+rmw-allowlist    Atomic read-modify-write calls (`fetch_*`, `.exchange(...)`,
+                 `compare_exchange_*`) are the building blocks of lock-free
+                 protocols and belong in the sanctioned lock-free files
+                 (src/sync/, the ticket queue src/orwl/queue.{h,cpp}, the
+                 wait-free metrics src/obs/metrics.h). Anywhere else each RMW
+                 must carry `// lint: allow-rmw(<reason>)` on the same or a
+                 nearby preceding line — a one-off counter bump is fine, an
+                 unreviewed ad-hoc protocol is not. Scope: src/.
+
 include-hygiene  Headers open with `#pragma once` (first non-comment line);
                  no `..` path segments in includes; quoted includes are
                  module-rooted (e.g. "orwl/queue.h", never "queue.h"); a
@@ -69,6 +78,24 @@ ACQUIRE_WHITELIST = {
 ORDER_WINDOW = 3
 MEMORY_ORDER = re.compile(r"\bmemory_order_\w+")
 ORDER_COMMENT = re.compile(r"//\s*order:")
+
+RMW_WINDOW = 3
+# Member-call syntax only: `std::exchange(...)` (the <utility> value swap)
+# must not trip the rule, so require `.` or `->` before the method name.
+RMW_CALL = re.compile(
+    r"(?:\.|->)\s*"
+    r"(fetch_(?:add|sub|and|or|xor)|exchange|"
+    r"compare_exchange_(?:weak|strong))\s*\(")
+RMW_ALLOW = re.compile(r"//\s*lint:\s*allow-rmw\([^)]+\)")
+# Files sanctioned to build lock-free protocols out of RMWs: the sync
+# primitives module, the ticket-ordered grant queue, and the wait-free
+# metrics structures.
+RMW_ALLOWLIST_PREFIXES = ("src/sync/",)
+RMW_ALLOWLIST = {
+    "src/orwl/queue.h",
+    "src/orwl/queue.cpp",
+    "src/obs/metrics.h",
+}
 
 ON_GRANT_DECL = re.compile(r"\bon_grant\s*\(.*\)\s*(?:override|final|=\s*0)")
 
@@ -152,6 +179,25 @@ def check_order_comment(rel: str, lines: List[str]) -> Iterable[Violation]:
             f"{ORDER_WINDOW} lines")
 
 
+def check_rmw_allowlist(rel: str, lines: List[str]) -> Iterable[Violation]:
+    if rel.startswith(RMW_ALLOWLIST_PREFIXES) or rel in RMW_ALLOWLIST:
+        return
+    for i, line in enumerate(lines):
+        # Strip the trailing comment so doc comments that *mention* an RMW
+        # (e.g. "pairs with the queue's fetch_add(...)") don't trip the rule.
+        code = line.split("//", 1)[0]
+        m = RMW_CALL.search(code)
+        if not m:
+            continue
+        if RMW_ALLOW.search(window(lines, i, RMW_WINDOW)):
+            continue
+        yield Violation(
+            rel, i + 1, "rmw-allowlist",
+            f"atomic {m.group(1)}() outside the lock-free allow-list "
+            "(src/sync/, orwl/queue, obs/metrics); move the protocol there "
+            "or annotate with '// lint: allow-rmw(<reason>)'")
+
+
 INCLUDE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 
 
@@ -204,6 +250,7 @@ RULES: List[Callable[[str, List[str]], Iterable[Violation]]] = [
     check_sink_contract,
     check_naked_acquire,
     check_order_comment,
+    check_rmw_allowlist,
     check_include_hygiene,
 ]
 
@@ -237,6 +284,7 @@ EXPECTED_FIXTURE_RULES = {
     "src/orwl/bad_sink.h": {"sink-contract"},
     "src/orwl/bad_acquire.cpp": {"naked-acquire"},
     "src/orwl/bad_order.cpp": {"order-comment"},
+    "src/orwl/bad_rmw.cpp": {"rmw-allowlist"},
     "src/orwl/bad_include.h": {"include-hygiene"},
     "src/orwl/clean.h": set(),
 }
