@@ -22,7 +22,7 @@ const char* const kKindNames[] = {
     "acquire_begin", "acquire_end", "grant",         "release",
     "event_pop",     "epoch_begin", "epoch_end",     "replace_begin",
     "replace_end",   "page_move",   "compute_begin", "compute_end",
-    "ring_publish",  "ring_drain",
+    "ring_publish",  "ring_drain",  "grant_batch",
 };
 static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) ==
                   static_cast<std::size_t>(EventKind::kCount),

@@ -48,6 +48,7 @@ enum class EventKind : std::uint8_t {
   ComputeEnd,     ///< sim: analytic segment ends         (arg = segment)
   RingPublish,    ///< ipc: message pushed into a shm ring (arg = msg kind)
   RingDrain,      ///< ipc: messages drained from a ring   (arg = count)
+  GrantBatch,     ///< FIFO announced a shared-read run    (arg = run size)
   kCount,
 };
 

@@ -252,6 +252,11 @@ int window_overlap(const WindowedEdge& e, int r0, int r1) {
 struct AccessWindow {
   int from = 0;
   int until = 0;  ///< exclusive
+  /// Read access on a location with >= 2 reader tasks: its grants arrive
+  /// as members of a batched shared-read run (FifoQueue::on_grant_batch),
+  /// so the simulator may charge the batch-amortized overhead
+  /// (SimThread::batched_acquires).
+  bool batched = false;
 };
 
 struct DerivedLoad {
@@ -286,14 +291,33 @@ DerivedLoad derive_load(const Program& program) {
     load.iterations = std::max(load.iterations, tasks[t].iterations);
   }
 
+  // Reader-task population per location: a read access shares its grants
+  // with the run of concurrent readers only when at least one OTHER task
+  // reads the location — a lone reader is granted (and charged) alone.
+  std::vector<int> reader_tasks(locs.size(), 0);
+  for (std::size_t li = 0; li < locs.size(); ++li) {
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      for (const Program::AccessDecl& acc : tasks[t].accesses) {
+        if (acc.mode != AccessMode::Read ||
+            static_cast<std::size_t>(acc.location) != li)
+          continue;
+        ++reader_tasks[li];
+        break;  // count distinct tasks, not accesses
+      }
+    }
+  }
+
   out.access_windows.resize(tasks.size());
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     for (const Program::AccessDecl& acc : tasks[t].accesses) {
       const int until = acc.until_round < 0
                             ? load.iterations
                             : std::min(acc.until_round, load.iterations);
+      const bool batched =
+          acc.mode == AccessMode::Read &&
+          reader_tasks[static_cast<std::size_t>(acc.location)] >= 2;
       if (until > acc.from_round)
-        out.access_windows[t].push_back({acc.from_round, until});
+        out.access_windows[t].push_back({acc.from_round, until, batched});
       // Grants clip to the owning task's iteration count (matching the
       // pre-window accounting for stationary programs).
       const int grant_until = std::min(
@@ -306,10 +330,15 @@ DerivedLoad derive_load(const Program& program) {
     // The whole-run average acquire count per iteration (exact declared
     // count for stationary programs).
     double active = 0.0;
-    for (const AccessWindow& w : out.access_windows[t])
+    double batched_active = 0.0;
+    for (const AccessWindow& w : out.access_windows[t]) {
       active += w.until - w.from;
+      if (w.batched) batched_active += w.until - w.from;
+    }
     load.threads[t].acquires = static_cast<int>(
         std::lround(active / load.iterations));
+    load.threads[t].batched_acquires = static_cast<int>(
+        std::lround(batched_active / load.iterations));
   }
 
   // Exchange edges: for every location, each (writer, reader) task pair
@@ -380,9 +409,15 @@ void apply_segment_acquires(const DerivedLoad& load, int r0,
                             sim::Workload& seg) {
   for (std::size_t t = 0; t < seg.threads.size(); ++t) {
     int active = 0;
-    for (const AccessWindow& w : load.access_windows[t])
-      if (w.from <= r0 && r0 < w.until) ++active;
+    int batched = 0;
+    for (const AccessWindow& w : load.access_windows[t]) {
+      if (w.from <= r0 && r0 < w.until) {
+        ++active;
+        if (w.batched) ++batched;
+      }
+    }
     seg.threads[t].acquires = active;
+    seg.threads[t].batched_acquires = batched;
   }
 }
 

@@ -21,6 +21,22 @@ void EventQueue::post(Event ev) {
   sync::notify_one(seq_);
 }
 
+void EventQueue::post_batch(std::span<const Event> evs) {
+  if (evs.empty()) return;
+  {
+    sync::LockGuard lock(mu_);
+    events_.insert(events_.end(), evs.begin(), evs.end());
+    // order: relaxed — backlog mirror for idle(); mu_ orders the writers.
+    backlog_.store(static_cast<std::uint32_t>(events_.size()),
+                   std::memory_order_relaxed);
+  }
+  // lint: allow-rmw(futex sequence bump; the wait side lives in sync/)
+  // order: release — one bump publishes the whole batch; the consumer's
+  // acquire load in the waiter pairs with it before re-checking.
+  seq_.fetch_add(1, std::memory_order_release);
+  sync::notify_one(seq_);
+}
+
 std::optional<Event> EventQueue::pop() {
   for (;;) {
     // order: acquire — read the sequence BEFORE inspecting the backlog: a

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "orwl/fwd.h"
@@ -41,6 +42,12 @@ class EventQueue {
   /// Enqueue an event. Safe from any thread, including while a location
   /// queue lock is held.
   void post(Event ev) ORWL_EXCLUDES(mu_);
+
+  /// Enqueue a batch of events with ONE lock acquisition, ONE sequence
+  /// bump and ONE wake — the posting half of the batched shared-read
+  /// grant path (a run of N readers costs one EventQueue hop, not N).
+  /// Same thread-safety contract as post(). Empty spans are a no-op.
+  void post_batch(std::span<const Event> evs) ORWL_EXCLUDES(mu_);
 
   /// Block until an event is available or stop() is called.
   /// Returns nullopt once stopped and drained.

@@ -2,6 +2,7 @@
 
 #include "support/assert.h"
 #include "sync/waiter.h"
+#include "topo/binding.h"
 
 namespace orwl {
 
@@ -13,6 +14,17 @@ namespace {
 /// (live in RelWithDebInfo/Release builds too) instead of a silent
 /// lock-free livelock.
 thread_local const FifoQueue* tl_announcing = nullptr;
+
+/// RAII marker for the announcement window (single grant or batch) so a
+/// throwing sink — or the re-entrancy assert itself — cannot leave the
+/// thread-local marker stale.
+struct AnnounceScope {
+  const FifoQueue* prev;
+  explicit AnnounceScope(const FifoQueue* q) : prev(tl_announcing) {
+    tl_announcing = q;
+  }
+  ~AnnounceScope() { tl_announcing = prev; }
+};
 #endif
 
 }  // namespace
@@ -66,6 +78,11 @@ void FifoQueue::ensure_capacity(std::size_t want) {
   }
   slots_ = std::move(fresh);
   mask_ = fresh_cap - 1;
+  // Read-run scratch sized to the ring: a grant run can never exceed
+  // capacity, so the combiner's collection loop never allocates.
+  batch_slots_.reserve(fresh_cap);
+  batch_tickets_.reserve(fresh_cap);
+  batch_reqs_.reserve(fresh_cap);
 }
 
 void FifoQueue::reserve_owners(std::size_t n) {
@@ -171,7 +188,10 @@ void FifoQueue::mark_released(Request& req) {
 }
 
 void FifoQueue::combine() {
-  combiner_.run([this] { advance(); });
+  // The caller's cached NUMA node feeds the combiner's preferred-owner
+  // handoff (sync/combiner.h): sync:: sits below topo::, so the node id is
+  // plumbed in here, at the first layer that may know the topology.
+  combiner_.run([this] { advance(); }, topo::current_node_id());
 }
 
 void FifoQueue::advance() {
@@ -218,7 +238,8 @@ void FifoQueue::advance() {
     if (s.released.load(std::memory_order_acquire)) continue;
     if (s.mode == AccessMode::Write) {
       // A write is granted only alone at the head; if it is not at the
-      // head yet, the pending release in front will re-trigger us.
+      // head yet, the pending release in front will re-trigger us. A write
+      // can only sit at the head, so no collected reads precede it here.
       if (i != head) break;
       if (i >= granted) {
         grant_one(s, i);
@@ -227,10 +248,62 @@ void FifoQueue::advance() {
       break;  // exclusive: nothing behind a write can be granted
     }
     if (i >= granted) {
-      grant_one(s, i);
+      if (batch_grants_) {
+        // Collect the read run; announced as ONE batch after the scan.
+        batch_slots_.push_back(&s);
+        batch_tickets_.push_back(i);
+      } else {
+        grant_one(s, i);
+      }
       granted = i + 1;
     }
   }
+  if (!batch_slots_.empty()) {
+    if (batch_slots_.size() == 1)
+      grant_one(*batch_slots_.front(), batch_tickets_.front());
+    else
+      grant_run(batch_tickets_.back());
+    batch_slots_.clear();
+    batch_tickets_.clear();
+  }
+}
+
+void FifoQueue::grant_run(Ticket t_last) {
+  // order: relaxed — combiner-private frontier; the WHOLE run is persisted
+  // BEFORE the sink call so a throwing sink cannot cause a second
+  // announcement of any of its tickets (at-most-once contract).
+  granted_.store(t_last + 1, std::memory_order_relaxed);
+  batch_reqs_.clear();
+  for (Slot* s : batch_slots_) {
+    // order: relaxed — the slot's seq acquire load (advance) already
+    // guards this field.
+    Request& r = *s->req.load(std::memory_order_relaxed);
+    batch_reqs_.push_back(&r);
+    // order: release — publishes the previous holder's buffer writes to
+    // the grantee, exactly as in grant_one.
+    r.state.store(RequestState::Granted, std::memory_order_release);
+  }
+
+#if ORWL_PROTOCOL_ASSERTS_ENABLED
+  AnnounceScope announce_scope(this);
+#endif
+  // RAII: every slot's announced flag must be set even when the sink
+  // throws, or the owners' releases would spin forever. Owners of EARLY
+  // requests in the run may observe Granted (spinning waiters) and
+  // release while the batch announcement is still in flight; their
+  // mark_released spins on this flag, so the queue-side Request
+  // references stay valid for the whole sink call — the same protocol as
+  // a single grant, with a longer window.
+  struct BatchAnnouncedGuard {
+    std::vector<Slot*>& slots;
+    ~BatchAnnouncedGuard() {
+      for (Slot* s : slots)
+        // order: release — pairs with the releaser's announced acquire
+        // spin; orders the sink's last use of the Request before reuse.
+        s->announced.store(true, std::memory_order_release);
+    }
+  } announced_guard{batch_slots_};
+  sink_->on_grant_batch({batch_reqs_.data(), batch_reqs_.size()});
 }
 
 void FifoQueue::grant_one(Slot& s, Ticket t) {
@@ -247,15 +320,7 @@ void FifoQueue::grant_one(Slot& s, Ticket t) {
   r.state.store(RequestState::Granted, std::memory_order_release);
 
 #if ORWL_PROTOCOL_ASSERTS_ENABLED
-  // RAII so a throwing sink (or the re-entrancy assert itself) cannot
-  // leave the thread-local marker stale.
-  struct AnnounceScope {
-    const FifoQueue* prev;
-    explicit AnnounceScope(const FifoQueue* q) : prev(tl_announcing) {
-      tl_announcing = q;
-    }
-    ~AnnounceScope() { tl_announcing = prev; }
-  } announce_scope(this);
+  AnnounceScope announce_scope(this);
 #endif
   // RAII: the announced flag must be set even when the sink throws, or
   // the owner's release would spin forever on a wedged announcement.

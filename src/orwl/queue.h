@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -103,6 +104,19 @@ struct Request {
 class GrantSink {
  public:
   virtual void on_grant(Request& req) = 0;
+
+  /// Batched announcement: a run of concurrent READ grants (>= 2, ticket
+  /// order) announced through ONE virtual call, so N readers cost one
+  /// dispatch — and a routing sink can push one event / coalesce wakes
+  /// instead of paying N hops. Same contract as on_grant (serialized
+  /// inside the combining step, non-blocking, no queue re-entry; every
+  /// request is already Granted when the call is made). The default
+  /// replays the batch through on_grant one by one, so sinks that never
+  /// opted in observe the exact per-grant sequence they always did.
+  // sink-contract: no-queue-reentry — inherits on_grant's obligation.
+  virtual void on_grant_batch(std::span<Request* const> reqs) {
+    for (Request* r : reqs) on_grant(*r);
+  }
 
  protected:
   ~GrantSink() = default;
@@ -196,6 +210,17 @@ class FifoQueue : public RequestPort {
   /// Current ring capacity (insert backpressure threshold).
   [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
 
+  /// Batched shared-read announcement (on by default): a head run of >= 2
+  /// concurrent readers is announced through one on_grant_batch call
+  /// instead of per-request on_grant calls. Quiescent setup only (the
+  /// runtime applies RuntimeOptions::batch_grants; benches A/B it).
+  void set_batch_grants(bool on) { batch_grants_ = on; }
+
+  /// The grant-path combiner — exposed for stats (handoffs/cross_node
+  /// metrics export) and for tests that shrink its handoff spin budgets.
+  [[nodiscard]] sync::Combiner& combiner() { return combiner_; }
+  [[nodiscard]] const sync::Combiner& combiner() const { return combiner_; }
+
  private:
   /// One ring slot. A ticket t lives in slots_[t & mask_]; the slot's
   /// `seq` walks t (free for round t) → t+1 (occupied by round t) →
@@ -218,6 +243,10 @@ class FifoQueue : public RequestPort {
   void combine();                  ///< announce work, maybe run advance()
   void advance();                  ///< combiner body: reclaim + grant
   void grant_one(Slot& s, Ticket t);  ///< store Granted + announce once
+  /// Store Granted on a collected read run (>= 2, ticket order, last
+  /// ticket `t_last`) and announce it through ONE on_grant_batch call.
+  /// Uses the batch_* scratch members (combiner-private).
+  void grant_run(Ticket t_last);
   /// Protocol assert: the grant sink must not call back in.
   void check_not_reentered() const;
 
@@ -237,6 +266,14 @@ class FifoQueue : public RequestPort {
 
   sync::Combiner combiner_;
   GrantSink* sink_;
+
+  bool batch_grants_ = true;
+  /// Read-run collection scratch, combiner-private (only touched while
+  /// holding the combiner role). Reserved to ring capacity by
+  /// ensure_capacity, so the steady-state grant path never allocates.
+  std::vector<Slot*> batch_slots_;
+  std::vector<Ticket> batch_tickets_;
+  std::vector<Request*> batch_reqs_;
 };
 
 }  // namespace orwl

@@ -39,6 +39,7 @@ LocationId Runtime::add_location(std::size_t bytes, std::string name) {
   locations_.push_back(std::make_unique<LocationBuffer>(
       id, arena_.allocate(bytes), std::move(name),
       static_cast<GrantSink*>(this)));
+  locations_.back()->queue().set_batch_grants(opts_.batch_grants);
   return id;
 }
 
@@ -52,6 +53,7 @@ LocationId Runtime::add_shared_location(std::span<std::byte> bytes,
   locations_.push_back(std::make_unique<LocationBuffer>(
       id, mem::Segment::external_view(bytes.data(), bytes.size()),
       std::move(name), static_cast<GrantSink*>(this)));
+  locations_.back()->queue().set_batch_grants(opts_.batch_grants);
   return id;
 }
 
@@ -381,6 +383,83 @@ void Runtime::route_grant(Request& req) {
   }
 }
 
+void Runtime::on_grant_batch(std::span<Request* const> reqs) {
+  // A whole shared-read run in one announcement. The per-request
+  // bookkeeping below is exactly on_grant's; the batch buys one virtual
+  // dispatch for the run plus the grouped routing at the end (one event
+  // post and one wake per destination queue instead of one per reader).
+  obs::trace(obs::EventKind::GrantBatch, reqs.size());
+  // Scratch is thread-local, not a member: combiners of DIFFERENT
+  // locations may announce concurrently, and one thread never nests
+  // announcements (sinks must not re-enter queues). Steady-state the
+  // vector is warm — no allocation on the grant path.
+  thread_local std::vector<Request*> local;
+  local.clear();
+  for (Request* req : reqs) {
+    obs::trace(obs::EventKind::Grant, static_cast<std::uint64_t>(req->handle));
+    stats_.record_grant(req->mode);
+    LocationBuffer& loc =
+        *locations_[static_cast<std::size_t>(req->location)];
+    if (req->owner == kRemoteOwner) {
+      // Proxied peer request (see on_grant): not a local task, so it must
+      // not reach the task table or flow shards — the transport publishes
+      // it into the shm ring. Batches are read runs, but keep the
+      // last-writer discipline symmetric with on_grant anyway.
+      if (req->mode == AccessMode::Write) loc.set_last_writer(kRemoteOwner);
+      ORWL_ASSERT_MSG(remote_sink_ != nullptr,
+                      "remote-owned grant with no remote sink installed");
+      remote_sink_->on_grant(*req);
+      continue;
+    }
+    if (opts_.record_flows)
+      stats_.record_flow(loc.last_writer(), req->owner, loc.size());
+    if (req->mode == AccessMode::Write) loc.set_last_writer(req->owner);
+    local.push_back(req);
+  }
+  route_grant_batch({local.data(), local.size()});
+}
+
+void Runtime::route_grant_batch(std::span<Request* const> reqs) {
+  if (reqs.empty()) return;
+  if (opts_.control == RuntimeOptions::ControlMode::Direct) {
+    for (Request* r : reqs) Handle::deliver_grant(*r);
+    return;
+  }
+  const auto queue_of = [this](const Request* r) -> EventQueue& {
+    if (opts_.control == RuntimeOptions::ControlMode::PerTask)
+      return *tasks_[static_cast<std::size_t>(r->owner)].events;
+    return *shared_queues_[static_cast<std::size_t>(r->owner) %
+                           shared_queues_.size()];
+  };
+  // Group by destination queue with the same tiny-quadratic scan as
+  // deliver_batch (runs are bounded by the location's reader count). Each
+  // group goes through ONE post_batch — one lock round-trip and one wake
+  // for the whole run — unless the queue is idle, in which case the
+  // announcer delivers inline: every waiter needs its own notify no matter
+  // who issues it, so the control-thread hop would only add latency (the
+  // same reasoning as route_grant's single-grant short-cut).
+  thread_local std::vector<Event> events;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EventQueue& q = queue_of(reqs[i]);
+    bool grouped = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (&queue_of(reqs[j]) == &q) {
+        grouped = true;
+        break;
+      }
+    }
+    if (grouped) continue;
+    events.clear();
+    for (std::size_t j = i; j < reqs.size(); ++j)
+      if (&queue_of(reqs[j]) == &q) events.push_back({reqs[j]});
+    if (opts_.inline_idle_delivery && q.idle()) {
+      for (const Event& ev : events) Handle::deliver_grant(*ev.request);
+    } else {
+      q.post_batch({events.data(), events.size()});
+    }
+  }
+}
+
 void Runtime::deliver_batch(const std::vector<Event>& batch) {
   // Coalesce per handle: a request whose renewal was granted while its
   // earlier announcement still sat in the backlog appears twice — one
@@ -508,6 +587,17 @@ void Runtime::run() {
   for (auto& rec : tasks_) rec.events->stop();
   for (auto& q : shared_queues_) q->stop();
   for (auto& th : control) th.join();
+
+  // Combiner locality stats, summed over the location queues now that
+  // everything is quiescent, so post-run snapshots read exact totals.
+  std::uint64_t handoffs = 0;
+  std::uint64_t cross_node = 0;
+  for (const auto& loc : locations_) {
+    handoffs += loc->queue().combiner().handoffs();
+    cross_node += loc->queue().combiner().cross_node();
+  }
+  metrics_.counter("orwl.combiner.handoffs").add(handoffs);
+  metrics_.counter("orwl.combiner.cross_node").add(cross_node);
 
   if (first_error) std::rethrow_exception(first_error);
 }

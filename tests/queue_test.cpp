@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "orwl/queue.h"
@@ -282,6 +283,141 @@ TEST_F(QueueTest, EnsureCapacityBelowCurrentIsANoOp) {
   const std::size_t cap = queue_.capacity();
   queue_.ensure_capacity(1);
   EXPECT_EQ(queue_.capacity(), cap);
+}
+
+// ---------------------------------------------------------------------------
+// Batched shared-read announcement (on_grant_batch)
+// ---------------------------------------------------------------------------
+
+/// Sink that records batch boundaries: singles through on_grant, runs
+/// through on_grant_batch, and the flattened announcement order of both.
+struct BatchRecordingSink final : GrantSink {
+  // sink-contract: no-queue-reentry — records the pointer and returns.
+  void on_grant(Request& req) override {
+    singles.push_back(&req);
+    order.push_back(&req);
+  }
+  // sink-contract: no-queue-reentry — records the run and returns.
+  void on_grant_batch(std::span<Request* const> reqs) override {
+    batches.emplace_back(reqs.begin(), reqs.end());
+    for (Request* r : reqs) order.push_back(r);
+  }
+  std::vector<Request*> singles;
+  std::vector<std::vector<Request*>> batches;
+  std::vector<Request*> order;  ///< every grant, in announcement order
+};
+
+TEST(QueueBatch, ReaderRunAnnouncedAsOneBatch) {
+  BatchRecordingSink sink;
+  FifoQueue queue(&sink);
+  Request w;
+  w.mode = AccessMode::Write;
+  Request r[3];
+  for (Request& req : r) req.mode = AccessMode::Read;
+  queue.insert(w);  // granted alone at the head: a single, never a batch
+  for (Request& req : r) queue.insert(req);
+  ASSERT_EQ(sink.singles.size(), 1u);
+  EXPECT_EQ(sink.singles[0], &w);
+  EXPECT_TRUE(sink.batches.empty());
+
+  // Releasing the writer uncovers all three readers in ONE combiner pass:
+  // one on_grant_batch call, run in ticket order, all Granted before the
+  // sink heard anything.
+  queue.release(w);
+  ASSERT_EQ(sink.batches.size(), 1u);
+  ASSERT_EQ(sink.batches[0].size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sink.batches[0][static_cast<std::size_t>(i)], &r[i]);
+    EXPECT_EQ(r[i].state, RequestState::Granted);
+  }
+  EXPECT_EQ(sink.singles.size(), 1u) << "no reader announced twice";
+}
+
+TEST(QueueBatch, SingleUncoveredReaderStaysUnbatched) {
+  BatchRecordingSink sink;
+  FifoQueue queue(&sink);
+  Request w;
+  w.mode = AccessMode::Write;
+  Request r;
+  r.mode = AccessMode::Read;
+  queue.insert(w);
+  queue.insert(r);
+  queue.release(w);
+  // A run of one is announced through plain on_grant — batching must not
+  // change the sink-visible shape of the common uncontended case.
+  EXPECT_TRUE(sink.batches.empty());
+  ASSERT_EQ(sink.singles.size(), 2u);
+  EXPECT_EQ(sink.singles[1], &r);
+}
+
+/// Drive one mixed scenario (write head, reader run, trailing write,
+/// renewals) against a queue; returns the announcement order as tickets.
+std::vector<Ticket> run_mixed_scenario(bool batch) {
+  BatchRecordingSink sink;
+  FifoQueue queue(&sink);
+  queue.set_batch_grants(batch);
+  Request w1, w2;
+  w1.mode = w2.mode = AccessMode::Write;
+  Request r[4];
+  for (Request& req : r) req.mode = AccessMode::Read;
+
+  queue.insert(w1);
+  for (int i = 0; i < 3; ++i) queue.insert(r[i]);
+  queue.insert(w2);
+  queue.release(w1);                  // uncovers the r[0..2] run
+  queue.release_and_renew(r[1], r[3]);  // renewal lands behind w2
+  queue.release(r[0]);
+  queue.release(r[2]);                // uncovers w2
+  queue.release(w2);                  // uncovers r[3] (run of one)
+  queue.release(r[3]);
+
+  std::vector<Ticket> tickets;
+  tickets.reserve(sink.order.size());
+  for (const Request* req : sink.order) tickets.push_back(req->ticket);
+  return tickets;
+}
+
+TEST(QueueBatch, BatchedGrantsMatchUnbatchedReplay) {
+  // The batch path is a delivery optimization, not a policy change: the
+  // flattened announcement sequence must be identical with batching on
+  // and off (same tickets, same order).
+  const std::vector<Ticket> batched = run_mixed_scenario(true);
+  const std::vector<Ticket> unbatched = run_mixed_scenario(false);
+  EXPECT_EQ(batched, unbatched);
+  EXPECT_EQ(batched.size(), 6u);  // w1, r0..r2, w2, r3 — each exactly once
+}
+
+TEST(QueueBatch, BatchRunSpansRingWraparound) {
+  // Park a writer just below the ring boundary, queue a reader run whose
+  // tickets straddle it (slot indices wrap to the ring's start), and
+  // release: the run must still arrive as ONE batch in ticket order —
+  // the collection loop walks tickets, not raw slot indices.
+  BatchRecordingSink sink;
+  FifoQueue queue(&sink);
+  const std::size_t cap = queue.capacity();
+  Request w[2];
+  w[0].mode = w[1].mode = AccessMode::Write;
+  queue.insert(w[0]);  // ticket 0
+  int cur = 0;
+  for (std::size_t t = 1; t + 1 < cap; ++t) {  // renew up to ticket cap-2
+    queue.release_and_renew(w[cur], w[cur ^ 1]);
+    cur ^= 1;
+  }
+  ASSERT_EQ(w[cur].ticket, cap - 2);
+  Request r[4];
+  for (Request& req : r) {
+    req.mode = AccessMode::Read;
+    queue.insert(req);  // tickets cap-1, cap, cap+1, cap+2
+  }
+  EXPECT_EQ(r[3].ticket, cap + 2);
+  sink.batches.clear();
+  queue.release(w[cur]);
+  ASSERT_EQ(sink.batches.size(), 1u);
+  ASSERT_EQ(sink.batches[0].size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sink.batches[0][static_cast<std::size_t>(i)], &r[i]);
+    EXPECT_EQ(r[i].state, RequestState::Granted);
+  }
 }
 
 }  // namespace

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
+#include "sim/calibration.h"
 #include "sim/lk23_model.h"
 #include "sim/simulator.h"
 #include "support/assert.h"
@@ -293,6 +297,119 @@ TEST(Lk23Model, Figure1OrderingAtFullMachine) {
       simulate_lk23(Lk23Impl::OpenMP, topo, cost, spec).total_seconds;
   EXPECT_LT(bind, nobind);
   EXPECT_LT(nobind, openmp);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration records (sim/calibration.h)
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, FormatLoadRoundTrip) {
+  CalibrationRecord rec;
+  rec.host = "measured-host";
+  rec.park_wake_pair_seconds = 2.5e-7;
+  rec.grant_batch_overhead_seconds = 1.25e-6;
+  const std::string path = ::testing::TempDir() + "orwl_cal_roundtrip.txt";
+  {
+    std::ofstream out(path);
+    out << format_calibration(rec);
+  }
+  const auto back = load_calibration_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->host, rec.host);
+  EXPECT_DOUBLE_EQ(back->park_wake_pair_seconds, rec.park_wake_pair_seconds);
+  EXPECT_DOUBLE_EQ(back->grant_batch_overhead_seconds,
+                   rec.grant_batch_overhead_seconds);
+}
+
+TEST(Calibration, UnknownKeysAndCommentsIgnored) {
+  const std::string path = ::testing::TempDir() + "orwl_cal_forward.txt";
+  {
+    std::ofstream out(path);
+    out << "# a comment line\n"
+        << "host box42  # trailing comment\n"
+        << "\n"
+        << "some_future_key 123\n"
+        << "park_wake_pair_seconds 1e-7\n";
+  }
+  const auto rec = load_calibration_file(path);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->host, "box42");
+  EXPECT_DOUBLE_EQ(rec->park_wake_pair_seconds, 1e-7);
+  EXPECT_DOUBLE_EQ(rec->grant_batch_overhead_seconds, 0.0)
+      << "unmeasured fields keep their no-effect defaults";
+}
+
+TEST(Calibration, RejectsBadRecords) {
+  // Missing file.
+  EXPECT_FALSE(load_calibration_file("/nonexistent/orwl_cal.txt"));
+  const std::string path = ::testing::TempDir() + "orwl_cal_bad.txt";
+  // No host fingerprint: the record cannot be matched to a machine.
+  {
+    std::ofstream out(path);
+    out << "park_wake_pair_seconds 1e-7\n";
+  }
+  EXPECT_FALSE(load_calibration_file(path));
+  // Negative measurement: corrupt.
+  {
+    std::ofstream out(path);
+    out << "host box\npark_wake_pair_seconds -1e-7\n";
+  }
+  EXPECT_FALSE(load_calibration_file(path));
+  // Unparsable value.
+  {
+    std::ofstream out(path);
+    out << "host box\ngrant_batch_overhead_seconds banana\n";
+  }
+  EXPECT_FALSE(load_calibration_file(path));
+}
+
+TEST(Calibration, DefaultsKeepBatchOverheadEqualToGrantOverhead) {
+  // The bit-identity contract: without an activated calibration record the
+  // batch overhead must EQUAL the grant overhead, so the batched-acquire
+  // branch in simulate() charges nothing extra (and recorded sim numbers
+  // never move). The ctest environment never sets ORWL_CALIBRATION.
+  const auto topo = topo::Topology::paper_machine();
+  const LinkCost cost = LinkCost::defaults_for(topo);
+  EXPECT_EQ(cost.grant_batch_overhead, cost.grant_overhead);
+}
+
+TEST(Simulate, BatchedAcquiresBitIdenticalWithoutCalibration) {
+  // batched_acquires is dormant while the two overheads are equal: the
+  // reports must be byte-for-byte identical, not just close.
+  const auto topo = topo::Topology::flat(2);
+  const LinkCost cost = LinkCost::defaults_for(topo);
+  Workload plain = one_thread(1e6, 1e6);
+  plain.threads[0].acquires = 8;
+  Workload batched = plain;
+  batched.threads[0].batched_acquires = 6;
+  const Placement p = fixed_at({0});
+  const Report a = simulate(topo, cost, plain, p);
+  const Report b = simulate(topo, cost, batched, p);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.lock_seconds, b.lock_seconds);
+}
+
+TEST(Simulate, BatchDiscountAppliesWhenOverheadsDiffer) {
+  // With a (calibrated) cheaper batch overhead, batched acquisitions cost
+  // less — and the batched count is clamped to the acquire count.
+  const auto topo = topo::Topology::flat(2);
+  LinkCost cost = LinkCost::defaults_for(topo);
+  cost.grant_batch_overhead = cost.grant_overhead / 2.0;
+  Workload plain = one_thread(0.0, 0.0);
+  plain.threads[0].acquires = 8;
+  Workload batched = plain;
+  batched.threads[0].batched_acquires = 6;
+  Workload clamped = plain;
+  clamped.threads[0].batched_acquires = 100;  // > acquires: clamp to 8
+  const Placement p = fixed_at({0});
+  const double lock_plain = simulate(topo, cost, plain, p).lock_seconds;
+  const double lock_batched = simulate(topo, cost, batched, p).lock_seconds;
+  const double lock_clamped = simulate(topo, cost, clamped, p).lock_seconds;
+  EXPECT_LT(lock_batched, lock_plain);
+  EXPECT_NEAR(lock_plain - lock_batched,
+              6 * (cost.grant_overhead - cost.grant_batch_overhead), 1e-15);
+  EXPECT_NEAR(lock_plain - lock_clamped,
+              8 * (cost.grant_overhead - cost.grant_batch_overhead), 1e-15);
 }
 
 TEST(Lk23Model, BindScalesBeyondTwoSockets) {

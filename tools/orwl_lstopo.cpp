@@ -33,9 +33,32 @@ std::string fmt_bytes(long long bytes) {
   return os.str();
 }
 
+/// Logical indices of the tree objects of `type` whose cpuset intersects
+/// `cpus` — which packages / L3 domains a NUMA node's CPUs live under.
+std::string grouping_for(const orwl::topo::Topology& topo,
+                         orwl::topo::ObjType type,
+                         const orwl::topo::Bitmap& cpus) {
+  std::ostringstream os;
+  bool any = false;
+  for (int d = 0; d < topo.depth(); ++d) {
+    for (const orwl::topo::Object* obj : topo.level(d)) {
+      if (obj->type != type || !obj->cpuset.intersects(cpus)) continue;
+      if (any) os << ',';
+      os << obj->logical_index;
+      any = true;
+    }
+  }
+  return any ? os.str() : std::string();
+}
+
 /// The node inventory: memory sizes and distances are what numa_local /
-/// numa_interleave placement trades off, so make them inspectable.
-void print_numa(const orwl::mem::NumaInfo& numa) {
+/// numa_interleave placement trades off, so make them inspectable. The
+/// package/L3 grouping next to each node shows the combiner-handoff
+/// locality domains (topo::current_node_id feeds sync::Combiner) at a
+/// glance — on most machines node == package, but multi-node packages
+/// (sub-NUMA clustering) and multi-package nodes both exist.
+void print_numa(const orwl::mem::NumaInfo& numa,
+                const orwl::topo::Topology& topo) {
   if (!numa.available()) {
     std::cout << "numa: no nodes exposed (memory policies fall back)\n";
     return;
@@ -46,6 +69,12 @@ void print_numa(const orwl::mem::NumaInfo& numa) {
     std::cout << "  node" << node.id << ": cpus "
               << node.cpus.to_list_string() << "  mem "
               << fmt_bytes(node.mem_bytes);
+    const std::string packs =
+        grouping_for(topo, orwl::topo::ObjType::Package, node.cpus);
+    if (!packs.empty()) std::cout << "  package " << packs;
+    const std::string l3s =
+        grouping_for(topo, orwl::topo::ObjType::L3, node.cpus);
+    if (!l3s.empty()) std::cout << "  l3 " << l3s;
     if (!node.distances.empty()) {
       std::cout << "  distance";
       for (const int d : node.distances) std::cout << ' ' << d;
@@ -111,7 +140,8 @@ int main(int argc, char** argv) {
     // machines — a synthetic spec has no node directories to read.
     if (positional.empty())
       print_numa(orwl::mem::NumaInfo::detect(
-          sysfs_root.empty() ? "/sys" : sysfs_root));
+                     sysfs_root.empty() ? "/sys" : sysfs_root),
+                 topo);
   }
   return 0;
 }
