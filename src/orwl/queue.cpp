@@ -83,6 +83,7 @@ void FifoQueue::ensure_capacity(std::size_t want) {
   batch_slots_.reserve(fresh_cap);
   batch_tickets_.reserve(fresh_cap);
   batch_reqs_.reserve(fresh_cap);
+  announce_slots_.reserve(fresh_cap);
 }
 
 void FifoQueue::reserve_owners(std::size_t n) {
@@ -259,12 +260,20 @@ void FifoQueue::advance() {
     }
   }
   if (!batch_slots_.empty()) {
-    if (batch_slots_.size() == 1)
-      grant_one(*batch_slots_.front(), batch_tickets_.front());
-    else
+    if (batch_slots_.size() == 1) {
+      // Run of one: announced per-grant. The collection scratch is
+      // emptied BEFORE the sink call (grant_run does the same) so a
+      // throwing sink cannot leave a stale run for the next advance() —
+      // which would re-announce tickets whose slots phase-1 reclaim may
+      // already have recycled.
+      Slot& s = *batch_slots_.front();
+      const Ticket t = batch_tickets_.front();
+      batch_slots_.clear();
+      batch_tickets_.clear();
+      grant_one(s, t);
+    } else {
       grant_run(batch_tickets_.back());
-    batch_slots_.clear();
-    batch_tickets_.clear();
+    }
   }
 }
 
@@ -274,7 +283,9 @@ void FifoQueue::grant_run(Ticket t_last) {
   // announcement of any of its tickets (at-most-once contract).
   granted_.store(t_last + 1, std::memory_order_relaxed);
   batch_reqs_.clear();
+  announce_slots_.clear();
   for (Slot* s : batch_slots_) {
+    announce_slots_.push_back(s);
     // order: relaxed — the slot's seq acquire load (advance) already
     // guards this field.
     Request& r = *s->req.load(std::memory_order_relaxed);
@@ -283,6 +294,14 @@ void FifoQueue::grant_run(Ticket t_last) {
     // the grantee, exactly as in grant_one.
     r.state.store(RequestState::Granted, std::memory_order_release);
   }
+  // The collection scratch is emptied BEFORE the sink call: a throwing
+  // sink unwinds into the combiner's exception recovery, and the next
+  // advance() must not find (and re-announce) a stale run — its slots may
+  // since have been reclaimed, or reused by a later lap's requests. The
+  // in-flight run lives on in announce_slots_/batch_reqs_, read only by
+  // this announcement and its guard.
+  batch_slots_.clear();
+  batch_tickets_.clear();
 
 #if ORWL_PROTOCOL_ASSERTS_ENABLED
   AnnounceScope announce_scope(this);
@@ -302,7 +321,7 @@ void FifoQueue::grant_run(Ticket t_last) {
         // spin; orders the sink's last use of the Request before reuse.
         s->announced.store(true, std::memory_order_release);
     }
-  } announced_guard{batch_slots_};
+  } announced_guard{announce_slots_};
   sink_->on_grant_batch({batch_reqs_.data(), batch_reqs_.size()});
 }
 

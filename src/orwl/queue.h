@@ -271,9 +271,17 @@ class FifoQueue : public RequestPort {
   /// Read-run collection scratch, combiner-private (only touched while
   /// holding the combiner role). Reserved to ring capacity by
   /// ensure_capacity, so the steady-state grant path never allocates.
+  /// Emptied BEFORE every sink call: a throwing sink unwinds into the
+  /// combiner's exception recovery, and the next advance() must never
+  /// find a stale collected run to re-announce.
   std::vector<Slot*> batch_slots_;
   std::vector<Ticket> batch_tickets_;
+  /// The run currently being announced (requests + their slots), owned by
+  /// the in-flight on_grant_batch call and its announced-flag guard —
+  /// separate from the collection scratch so that scratch can be cleared
+  /// before the sink runs. Same reservation contract as above.
   std::vector<Request*> batch_reqs_;
+  std::vector<Slot*> announce_slots_;
 };
 
 }  // namespace orwl

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "orwl/queue.h"
@@ -375,6 +376,57 @@ std::vector<Ticket> run_mixed_scenario(bool batch) {
   tickets.reserve(sink.order.size());
   for (const Request* req : sink.order) tickets.push_back(req->ticket);
   return tickets;
+}
+
+/// Sink whose first on_grant_batch throws — models a routing layer failing
+/// mid-delivery. The queue's contract: the run is persisted (Granted +
+/// announced flags) before the sink hears anything, so a throw must leave
+/// nothing behind for a later combiner round to re-announce.
+struct ThrowingBatchSink final : GrantSink {
+  // sink-contract: no-queue-reentry — records the pointer and returns.
+  void on_grant(Request& req) override { order.push_back(&req); }
+  // sink-contract: no-queue-reentry — throws or records, never calls back.
+  void on_grant_batch(std::span<Request* const> reqs) override {
+    if (throws_left > 0) {
+      --throws_left;
+      throw std::runtime_error("sink failure mid-batch");
+    }
+    for (Request* r : reqs) order.push_back(r);
+  }
+  int throws_left = 1;
+  std::vector<Request*> order;
+};
+
+TEST(QueueBatch, ThrowingBatchSinkLeavesNoStaleRun) {
+  ThrowingBatchSink sink;
+  FifoQueue queue(&sink);
+  Request w;
+  w.mode = AccessMode::Write;
+  Request r[3];
+  for (Request& req : r) req.mode = AccessMode::Read;
+  queue.insert(w);  // granted alone through on_grant: does not throw
+  for (Request& req : r) queue.insert(req);
+
+  // The batch announcement throws AFTER the run is persisted: every
+  // reader is Granted, announcement-flagged (so its release cannot spin
+  // forever), and the exception reaches the releaser.
+  EXPECT_THROW(queue.release(w), std::runtime_error);
+  for (Request& req : r)
+    EXPECT_EQ(req.state, RequestState::Granted);
+
+  // Recovery: later combiner rounds must not re-announce the failed run —
+  // by now its slots are being reclaimed and may belong to a new lap.
+  // Draining the readers and pushing a fresh writer through must announce
+  // exactly that writer, nothing from the thrown-away batch.
+  for (Request& req : r) queue.release(req);
+  Request w2;
+  w2.mode = AccessMode::Write;
+  queue.insert(w2);
+  EXPECT_EQ(w2.state, RequestState::Granted);
+  ASSERT_EQ(sink.order.size(), 2u);
+  EXPECT_EQ(sink.order[0], &w);
+  EXPECT_EQ(sink.order[1], &w2);
+  queue.release(w2);
 }
 
 TEST(QueueBatch, BatchedGrantsMatchUnbatchedReplay) {
